@@ -1,0 +1,245 @@
+(* Command-line interface: reproduce the paper's experiments and inspect
+   the pipeline on the WATERS 2019 case study or random workloads. *)
+
+open Cmdliner
+open Rt_model
+open Let_sem
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let verbose_t =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log solver progress.")
+
+let time_limit_t =
+  Arg.(
+    value
+    & opt float 60.0
+    & info [ "time-limit" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock limit for each MILP solve (the paper used 1 hour).")
+
+let labels_per_edge_t =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "labels-per-edge" ] ~docv:"N"
+        ~doc:"Split each WATERS data flow into N labels (scales the MILP).")
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let waters ~labels_per_edge = Workload.Waters2019.make ~labels_per_edge ()
+
+(* --- info ------------------------------------------------------------ *)
+
+let info_cmd =
+  let run verbose labels_per_edge =
+    setup_logs verbose;
+    let app = waters ~labels_per_edge in
+    let groups = Groups.compute app in
+    Fmt.pr "%a@.@.%a@.@.Response-time analysis:@.%a@." App.pp app Groups.pp
+      groups
+      (Rt_analysis.Rta.pp_analysis app)
+      ();
+    List.iter
+      (fun (alpha, s) ->
+        match s with
+        | Some s -> Fmt.pr "@.%a@." (Rt_analysis.Sensitivity.pp app) s
+        | None -> Fmt.pr "@.alpha=%.1f: unschedulable@." alpha)
+      (Rt_analysis.Sensitivity.sweep app)
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print the WATERS 2019 case study and its analysis.")
+    Term.(const run $ verbose_t $ labels_per_edge_t)
+
+(* --- fig1 ------------------------------------------------------------ *)
+
+let fig1_cmd =
+  let vcd_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE"
+          ~doc:
+            "Additionally dump the proposed protocol's schedule as a VCD \
+             waveform (viewable in GTKWave).")
+  in
+  let run verbose vcd =
+    setup_logs verbose;
+    Fmt.pr "%s@." (Letdma.Fig1.render ());
+    match vcd with
+    | None -> ()
+    | Some file ->
+      let app = Letdma.Fig1.app () in
+      let groups = Groups.compute app in
+      let gamma = Letdma.Fig1.gamma app in
+      (match Letdma.Heuristic.solve app groups ~gamma with
+       | Error e -> Fmt.epr "vcd: %s@." e
+       | Ok solution ->
+         let m =
+           Letdma.Baselines.run ~record_trace:true app groups
+             Letdma.Baselines.Proposed ~solution:(Some solution)
+         in
+         let oc = open_out file in
+         output_string oc (Dma_sim.Vcd.to_vcd app m.Dma_sim.Sim.trace);
+         close_out oc;
+         Fmt.pr "wrote %s@." file)
+  in
+  Cmd.v
+    (Cmd.info "fig1"
+       ~doc:
+         "Reproduce the shape of the paper's Fig. 1: the protocol's schedule \
+          vs the Giotto ordering on the 6-task example.")
+    Term.(const run $ verbose_t $ vcd_t)
+
+(* --- fig2 ------------------------------------------------------------ *)
+
+let fig2_cmd =
+  let csv_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Additionally write the per-task data as CSV for plotting.")
+  in
+  let run verbose time_limit labels_per_edge csv =
+    setup_logs verbose;
+    let app = waters ~labels_per_edge in
+    let results = Letdma.Experiment.fig2 ~time_limit_s:time_limit app in
+    Fmt.pr "%a@." (fun ppf -> Letdma.Report.fig2 ppf app) results;
+    match csv with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      let ppf = Format.formatter_of_out_channel oc in
+      Letdma.Report.fig2_csv ppf app results;
+      Format.pp_print_flush ppf ();
+      close_out oc;
+      Fmt.pr "wrote %s@." file
+  in
+  Cmd.v
+    (Cmd.info "fig2"
+       ~doc:
+         "Reproduce Fig. 2: latency ratios of the proposed approach vs the \
+          three Giotto baselines for alpha in {0.2, 0.4} and the three \
+          objectives.")
+    Term.(const run $ verbose_t $ time_limit_t $ labels_per_edge_t $ csv_t)
+
+(* --- table1 ---------------------------------------------------------- *)
+
+let table1_cmd =
+  let run verbose time_limit labels_per_edge =
+    setup_logs verbose;
+    let app = waters ~labels_per_edge in
+    let rows = Letdma.Experiment.table1 ~time_limit_s:time_limit app in
+    Fmt.pr "%a@." Letdma.Report.table1 rows
+  in
+  Cmd.v
+    (Cmd.info "table1"
+       ~doc:"Reproduce Table I: solver running times and DMA transfer counts.")
+    Term.(const run $ verbose_t $ time_limit_t $ labels_per_edge_t)
+
+(* --- alpha sweep ------------------------------------------------------ *)
+
+let alpha_cmd =
+  let run verbose time_limit labels_per_edge =
+    setup_logs verbose;
+    let app = waters ~labels_per_edge in
+    let results = Letdma.Experiment.alpha_sweep ~time_limit_s:time_limit app in
+    Fmt.pr "%a@." Letdma.Report.alpha_sweep results
+  in
+  Cmd.v
+    (Cmd.info "alpha-sweep"
+       ~doc:
+         "Reproduce the alpha sensitivity sweep of Section VII (alpha in \
+          {0.1..0.5}).")
+    Term.(const run $ verbose_t $ time_limit_t $ labels_per_edge_t)
+
+(* --- solve ------------------------------------------------------------ *)
+
+let objective_t =
+  let obj_conv =
+    Arg.enum
+      [
+        ("no-obj", Letdma.Formulation.No_obj);
+        ("dmat", Letdma.Formulation.Min_transfers);
+        ("del", Letdma.Formulation.Min_delay_ratio);
+      ]
+  in
+  Arg.(
+    value
+    & opt obj_conv Letdma.Formulation.No_obj
+    & info [ "objective" ] ~docv:"OBJ"
+        ~doc:"Objective: $(b,no-obj), $(b,dmat) (Eq. 4) or $(b,del) (Eq. 5).")
+
+let alpha_t =
+  Arg.(
+    value & opt float 0.2
+    & info [ "alpha" ] ~docv:"ALPHA"
+        ~doc:"Sensitivity factor for data-acquisition deadlines.")
+
+let heuristic_t =
+  Arg.(
+    value & flag
+    & info [ "heuristic" ] ~doc:"Use the greedy heuristic instead of the MILP.")
+
+let solve_cmd =
+  let run verbose time_limit labels_per_edge objective alpha heuristic =
+    setup_logs verbose;
+    let app = waters ~labels_per_edge in
+    let solver =
+      if heuristic then Letdma.Experiment.Heuristic
+      else Letdma.Experiment.milp ~time_limit_s:time_limit objective
+    in
+    match Letdma.Experiment.run_config ~solver app ~alpha with
+    | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+    | Ok r ->
+      Fmt.pr "%a@.@.%a@."
+        (Letdma.Solution.pp app)
+        r.Letdma.Experiment.solution
+        (fun ppf -> Letdma.Report.fig2_subplot ppf app)
+        r
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Solve one configuration and report the resulting plan/latencies.")
+    Term.(
+      const run $ verbose_t $ time_limit_t $ labels_per_edge_t $ objective_t
+      $ alpha_t $ heuristic_t)
+
+(* --- random workload --------------------------------------------------- *)
+
+let random_cmd =
+  let run verbose time_limit seed =
+    setup_logs verbose;
+    let app = Workload.Generator.random ~seed () in
+    Fmt.pr "%a@." App.pp app;
+    match
+      Letdma.Experiment.run_config
+        ~solver:
+          (Letdma.Experiment.milp ~time_limit_s:time_limit
+             Letdma.Formulation.No_obj)
+        app ~alpha:0.3
+    with
+    | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+    | Ok r -> Fmt.pr "%a@." (fun ppf -> Letdma.Report.fig2_subplot ppf app) r
+  in
+  Cmd.v
+    (Cmd.info "random"
+       ~doc:"Generate a random workload and run the pipeline on it.")
+    Term.(const run $ verbose_t $ time_limit_t $ seed_t)
+
+let main =
+  Cmd.group
+    (Cmd.info "letdma" ~version:"1.0.0"
+       ~doc:
+         "Optimal memory allocation and scheduling for DMA data transfers \
+          under the LET paradigm (DAC 2021 reproduction).")
+    [ info_cmd; fig1_cmd; fig2_cmd; table1_cmd; alpha_cmd; solve_cmd; random_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/let_task_analysis.ml: App Fmt Groups Let_sem Letdma List Platform Rt_analysis Rt_model Task Time Workload

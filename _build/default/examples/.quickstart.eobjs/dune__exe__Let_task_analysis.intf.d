@@ -1,0 +1,1 @@
+examples/let_task_analysis.mli:

@@ -1,0 +1,1 @@
+examples/multi_dma.ml: App Array Dma_sim Fmt Groups Let_sem Letdma List Rt_analysis Rt_model Task Time Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: App Array Dma_sim Fmt Groups Label Let_sem Letdma List Platform Rt_analysis Rt_model Task Time

@@ -1,0 +1,1 @@
+examples/random_workload.ml: App Array Comm Dma_sim Float Fmt Groups Let_sem Letdma List Logs Rt_model Task Time Workload

@@ -1,0 +1,1 @@
+examples/sensitivity.ml: Fmt Letdma Logs Rt_analysis Workload

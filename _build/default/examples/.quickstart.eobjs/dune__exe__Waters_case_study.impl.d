@@ -1,0 +1,1 @@
+examples/waters_case_study.ml: App Fmt Letdma Logs Rt_model Workload

@@ -1,0 +1,1 @@
+examples/waters_case_study.mli:

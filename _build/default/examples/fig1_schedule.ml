@@ -1,0 +1,6 @@
+(* The paper's Fig. 1: the proposed DMA protocol vs the original Giotto
+   ordering on the 6-task, 2-core example, rendered as ASCII Gantt charts.
+
+   Run with: dune exec examples/fig1_schedule.exe *)
+
+let () = print_endline (Letdma.Fig1.render ())

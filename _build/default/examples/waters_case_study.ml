@@ -1,0 +1,22 @@
+(* The WATERS 2019 autonomous-driving case study, solved with the MILP
+   under the OBJ-DEL objective (Eq. (5): minimize max lambda_i / T_i) and
+   compared against the three Giotto baselines — one subplot of the
+   paper's Fig. 2.
+
+   Run with: dune exec examples/waters_case_study.exe *)
+
+open Rt_model
+
+let () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Info);
+  let app = Workload.Waters2019.make () in
+  Fmt.pr "%a@.@." App.pp app;
+  let solver =
+    Letdma.Experiment.milp ~time_limit_s:20.0 Letdma.Formulation.Min_delay_ratio
+  in
+  match Letdma.Experiment.run_config ~solver app ~alpha:0.2 with
+  | Error e -> Fmt.epr "failed: %s@." e
+  | Ok r ->
+    Fmt.pr "%a@.@." (Letdma.Solution.pp app) r.Letdma.Experiment.solution;
+    Fmt.pr "%a@." (fun ppf -> Letdma.Report.fig2_subplot ppf app) r

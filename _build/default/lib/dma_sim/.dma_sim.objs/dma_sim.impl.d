@@ -1,0 +1,1 @@
+lib/dma_sim/dma_sim.ml: Sim Trace Vcd

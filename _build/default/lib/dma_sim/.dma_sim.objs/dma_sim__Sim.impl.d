@@ -1,0 +1,1 @@
+lib/dma_sim/sim.ml: App Array Comm Float Fmt Giotto Groups Hashtbl Let_sem List Platform Properties Rt_model Task Time Trace

@@ -1,0 +1,1 @@
+lib/dma_sim/sim.mli: App Format Groups Let_sem Properties Rt_model Time Trace

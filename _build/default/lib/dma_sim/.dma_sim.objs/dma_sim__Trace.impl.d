@@ -1,0 +1,1 @@
+lib/dma_sim/trace.ml: App Array Buffer Bytes Comm Fmt Label Let_sem List Platform Rt_model Task Time

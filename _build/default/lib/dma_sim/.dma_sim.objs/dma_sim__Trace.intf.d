@@ -1,0 +1,1 @@
+lib/dma_sim/trace.mli: App Comm Format Let_sem Rt_model Time

@@ -1,0 +1,1 @@
+lib/dma_sim/vcd.ml: App Buffer Bytes Char Fmt List Platform Printf Rt_model Task Time Trace

@@ -1,0 +1,1 @@
+lib/dma_sim/vcd.mli: App Rt_model Trace

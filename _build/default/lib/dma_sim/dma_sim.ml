@@ -1,0 +1,7 @@
+(** Discrete-event simulator of the DMA-based LET communication protocol
+    (Section V.B) and of the Giotto baselines, with timeline traces and
+    VCD waveform export. *)
+
+module Sim = Sim
+module Trace = Trace
+module Vcd = Vcd

@@ -1,0 +1,108 @@
+open Rt_model
+open Let_sem
+
+(* Timeline events recorded by the simulator, and an ASCII rendering used
+   to reproduce the shape of the paper's Fig. 1 schedule. *)
+
+type event =
+  | Dma_program of { core : int; index : int; start : Time.t; finish : Time.t }
+  | Dma_copy of {
+      index : int;
+      labels : int list;
+      bytes : int;
+      start : Time.t;
+      finish : Time.t;
+    }
+  | Dma_isr of { core : int; index : int; start : Time.t; finish : Time.t }
+  | Cpu_copy of { core : int; comm : Comm.t; start : Time.t; finish : Time.t }
+  | Task_ready of { task : int; time : Time.t }
+
+let start_of = function
+  | Dma_program { start; _ }
+  | Dma_copy { start; _ }
+  | Dma_isr { start; _ }
+  | Cpu_copy { start; _ } -> start
+  | Task_ready { time; _ } -> time
+
+let sort_events events =
+  List.stable_sort (fun a b -> Time.compare (start_of a) (start_of b)) events
+
+let pp_event app ppf = function
+  | Dma_program { core; index; start; finish } ->
+    Fmt.pf ppf "%-9s LET_%d programs DMA transfer #%d (until %a)" (Time.to_string start)
+      (core + 1) index Time.pp finish
+  | Dma_copy { index; labels; bytes; start; finish } ->
+    Fmt.pf ppf "%-9s DMA copies transfer #%d [%a] (%dB, until %a)" (Time.to_string start)
+      index
+      Fmt.(list ~sep:(any ",") (fun ppf l -> string ppf (App.label app l).Label.name))
+      labels bytes Time.pp finish
+  | Dma_isr { core; index; start; finish } ->
+    Fmt.pf ppf "%-9s ISR on core %d for transfer #%d (until %a)" (Time.to_string start)
+      (core + 1) index Time.pp finish
+  | Cpu_copy { core; comm; start; finish } ->
+    Fmt.pf ppf "%-9s core %d copies %a (until %a)" (Time.to_string start) (core + 1)
+      (Comm.pp app) comm Time.pp finish
+  | Task_ready { task; time } ->
+    Fmt.pf ppf "%-9s %s READY" (Time.to_string time) (App.task app task).Task.name
+
+let pp_log app ppf events =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut (pp_event app)) (sort_events events)
+
+(* Scaled ASCII Gantt chart: one lane for the DMA engine, one per core
+   (CPU copies + readiness marks). *)
+let render_gantt ?(width = 100) app events =
+  let events = sort_events events in
+  match events with
+  | [] -> "(empty trace)"
+  | _ ->
+    let t_min =
+      List.fold_left (fun acc e -> Time.min acc (start_of e)) max_int events
+    in
+    let t_max =
+      List.fold_left
+        (fun acc e ->
+          let f =
+            match e with
+            | Dma_program { finish; _ }
+            | Dma_copy { finish; _ }
+            | Dma_isr { finish; _ }
+            | Cpu_copy { finish; _ } -> finish
+            | Task_ready { time; _ } -> time
+          in
+          Time.max acc f)
+        0 events
+    in
+    let span = max 1 Time.(t_max - t_min) in
+    let col t = (Time.( - ) t t_min) * (width - 1) / span in
+    let n_cores = (App.platform app).Platform.n_cores in
+    let lanes = Array.make (n_cores + 1) (Bytes.make width ' ') in
+    for i = 0 to n_cores do
+      lanes.(i) <- Bytes.make width ' '
+    done;
+    let paint lane c0 c1 ch =
+      for c = max 0 c0 to min (width - 1) (max c0 c1) do
+        Bytes.set lanes.(lane) c ch
+      done
+    in
+    List.iter
+      (fun e ->
+        match e with
+        | Dma_program { start; finish; _ } -> paint 0 (col start) (col finish - 1) 'p'
+        | Dma_copy { start; finish; _ } -> paint 0 (col start) (col finish - 1) '='
+        | Dma_isr { start; finish; _ } -> paint 0 (col start) (col finish - 1) 'i'
+        | Cpu_copy { core; start; finish; _ } ->
+          paint (core + 1) (col start) (col finish - 1) '='
+        | Task_ready { task; time } ->
+          let lane = App.core_of app task + 1 in
+          paint lane (col time) (col time) '^')
+      events;
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Fmt.str "time: %a .. %a  (p=DMA programming, ==copy, i=ISR, ^=task ready)\n"
+         Time.pp t_min Time.pp t_max);
+    Buffer.add_string buf (Fmt.str "%-6s|%s|\n" "DMA" (Bytes.to_string lanes.(0)));
+    for k = 0 to n_cores - 1 do
+      Buffer.add_string buf
+        (Fmt.str "%-6s|%s|\n" (Fmt.str "P%d" (k + 1)) (Bytes.to_string lanes.(k + 1)))
+    done;
+    Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Timeline events recorded by the simulator, with an event-log printer
+    and a scaled ASCII Gantt renderer (used to reproduce the shape of the
+    paper's Fig. 1). *)
+
+open Rt_model
+open Let_sem
+
+type event =
+  | Dma_program of { core : int; index : int; start : Time.t; finish : Time.t }
+  | Dma_copy of {
+      index : int;
+      labels : int list;
+      bytes : int;
+      start : Time.t;
+      finish : Time.t;
+    }
+  | Dma_isr of { core : int; index : int; start : Time.t; finish : Time.t }
+  | Cpu_copy of { core : int; comm : Comm.t; start : Time.t; finish : Time.t }
+  | Task_ready of { task : int; time : Time.t }
+
+val start_of : event -> Time.t
+val sort_events : event list -> event list
+val pp_event : App.t -> Format.formatter -> event -> unit
+val pp_log : App.t -> Format.formatter -> event list -> unit
+
+(** One lane for the DMA plus one per core; [width] columns span the
+    traced interval. *)
+val render_gantt : ?width:int -> App.t -> event list -> string

@@ -1,0 +1,96 @@
+open Rt_model
+
+(* Value-change-dump (IEEE 1364 VCD) export of simulator traces, viewable
+   in GTKWave & co. Signals:
+
+   - dma_prog / dma_copy / dma_isr : 1-bit wires, high while the DMA
+     engine is being programmed / copying / raising the completion ISR;
+   - dma_transfer [7:0]            : index of the transfer in flight;
+   - coreK_copy                    : high while core K's LET task performs
+     a CPU copy (Giotto-CPU mode);
+   - ready_<task>                  : event fired when the task becomes
+     ready (rule R3 / end of the Giotto barrier). *)
+
+type change = { time : Time.t; id : string; value : string }
+
+let header =
+  "$version letdma dma_sim trace $end\n$timescale 1ns $end\n"
+
+(* Stable printable VCD identifiers: '!' onwards. *)
+let ident k = Printf.sprintf "%c" (Char.chr (33 + k))
+
+let to_vcd app (events : Trace.event list) =
+  let n_cores = (App.platform app).Platform.n_cores in
+  let n_tasks = App.num_tasks app in
+  let id_prog = ident 0 in
+  let id_copy = ident 1 in
+  let id_isr = ident 2 in
+  let id_transfer = ident 3 in
+  let id_core k = ident (4 + k) in
+  let id_ready i = ident (4 + n_cores + i) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_string buf "$scope module letdma $end\n";
+  Buffer.add_string buf (Fmt.str "$var wire 1 %s dma_prog $end\n" id_prog);
+  Buffer.add_string buf (Fmt.str "$var wire 1 %s dma_copy $end\n" id_copy);
+  Buffer.add_string buf (Fmt.str "$var wire 1 %s dma_isr $end\n" id_isr);
+  Buffer.add_string buf
+    (Fmt.str "$var wire 8 %s dma_transfer $end\n" id_transfer);
+  for k = 0 to n_cores - 1 do
+    Buffer.add_string buf
+      (Fmt.str "$var wire 1 %s core%d_copy $end\n" (id_core k) (k + 1))
+  done;
+  for i = 0 to n_tasks - 1 do
+    Buffer.add_string buf
+      (Fmt.str "$var event 1 %s ready_%s $end\n" (id_ready i)
+         (App.task app i).Task.name)
+  done;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  (* initial values *)
+  Buffer.add_string buf "$dumpvars\n";
+  Buffer.add_string buf (Fmt.str "0%s\n0%s\n0%s\nb0 %s\n" id_prog id_copy id_isr id_transfer);
+  for k = 0 to n_cores - 1 do
+    Buffer.add_string buf (Fmt.str "0%s\n" (id_core k))
+  done;
+  Buffer.add_string buf "$end\n";
+  (* collect changes *)
+  let bits8 v =
+    let b = Bytes.make 8 '0' in
+    for i = 0 to 7 do
+      if v land (1 lsl (7 - i)) <> 0 then Bytes.set b i '1'
+    done;
+    Bytes.to_string b
+  in
+  let changes = ref [] in
+  let add time id value = changes := { time; id; value } :: !changes in
+  List.iter
+    (fun e ->
+      match e with
+      | Trace.Dma_program { index; start; finish; _ } ->
+        add start id_prog "1";
+        add start id_transfer (Fmt.str "b%s " (bits8 (index land 0xff)));
+        add finish id_prog "0"
+      | Trace.Dma_copy { start; finish; _ } ->
+        add start id_copy "1";
+        add finish id_copy "0"
+      | Trace.Dma_isr { start; finish; _ } ->
+        add start id_isr "1";
+        add finish id_isr "0"
+      | Trace.Cpu_copy { core; start; finish; _ } ->
+        add start (id_core core) "1";
+        add finish (id_core core) "0"
+      | Trace.Task_ready { task; time } -> add time (id_ready task) "1")
+    events;
+  let changes =
+    List.stable_sort (fun a b -> Time.compare a.time b.time) (List.rev !changes)
+  in
+  let current = ref (-1) in
+  List.iter
+    (fun c ->
+      if Time.to_ns c.time <> !current then begin
+        current := Time.to_ns c.time;
+        Buffer.add_string buf (Fmt.str "#%d\n" !current)
+      end;
+      Buffer.add_string buf (c.value ^ c.id ^ "\n"))
+    changes;
+  Buffer.contents buf

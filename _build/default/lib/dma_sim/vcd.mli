@@ -1,0 +1,10 @@
+(** VCD (IEEE 1364 value change dump) export of simulator traces, for
+    waveform viewers such as GTKWave.
+
+    Exposes the DMA engine's programming/copy/ISR activity, the index of
+    the transfer in flight, per-core CPU-copy activity, and one event
+    signal per task marking the instants it becomes ready. *)
+
+open Rt_model
+
+val to_vcd : App.t -> Trace.event list -> string

@@ -1,0 +1,1 @@
+lib/let_sem/let_sem.ml: Comm Eta Giotto Groups Properties

@@ -1,0 +1,1 @@
+lib/let_sem/comm.ml: App Fmt Int Label Map Platform Rt_model Set Task

@@ -1,0 +1,1 @@
+lib/let_sem/comm.mli: App Format Map Platform Rt_model Set

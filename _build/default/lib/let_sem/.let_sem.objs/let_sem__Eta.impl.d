@@ -1,0 +1,1 @@
+lib/let_sem/eta.ml: List Rt_model Time

@@ -1,0 +1,1 @@
+lib/let_sem/eta.mli: Rt_model Time

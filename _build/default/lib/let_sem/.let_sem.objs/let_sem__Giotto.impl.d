@@ -1,0 +1,1 @@
+lib/let_sem/giotto.ml: App Comm List Platform Rt_model

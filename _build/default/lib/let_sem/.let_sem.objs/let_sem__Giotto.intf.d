@@ -1,0 +1,1 @@
+lib/let_sem/giotto.mli: App Comm Rt_model

@@ -1,0 +1,1 @@
+lib/let_sem/groups.ml: App Array Comm Eta Fmt Hashtbl Int Label List Rt_model Set Task Time

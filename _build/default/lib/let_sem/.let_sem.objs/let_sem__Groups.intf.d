@@ -1,0 +1,1 @@
+lib/let_sem/groups.mli: App Comm Format Label Rt_model Time

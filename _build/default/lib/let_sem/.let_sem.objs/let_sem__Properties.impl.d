@@ -1,0 +1,1 @@
+lib/let_sem/properties.ml: App Comm Fmt Int List Platform Result Rt_model Time

@@ -1,0 +1,1 @@
+lib/let_sem/properties.mli: App Comm Rt_model Time

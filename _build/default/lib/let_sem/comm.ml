@@ -1,0 +1,71 @@
+open Rt_model
+
+type kind = Write | Read
+
+let equal_kind a b =
+  match (a, b) with
+  | Write, Write | Read, Read -> true
+  | Write, Read | Read, Write -> false
+
+type t = {
+  kind : kind;
+  task : int; (* producer for Write, consumer for Read *)
+  label : int;
+}
+
+let write ~task ~label = { kind = Write; task; label }
+let read ~task ~label = { kind = Read; task; label }
+
+let compare a b =
+  match (a.kind, b.kind) with
+  | Write, Read -> -1
+  | Read, Write -> 1
+  | Write, Write | Read, Read ->
+    let c = Int.compare a.task b.task in
+    if c <> 0 then c else Int.compare a.label b.label
+
+let equal a b = compare a b = 0
+
+(* The core whose local memory the communication touches. *)
+let local_core (app : App.t) c = App.core_of app c.task
+
+type direction = To_global | From_global
+
+let direction c = match c.kind with Write -> To_global | Read -> From_global
+
+let src_memory app c =
+  match c.kind with
+  | Write -> Platform.Local (local_core app c)
+  | Read -> Platform.Global
+
+let dst_memory app c =
+  match c.kind with
+  | Write -> Platform.Global
+  | Read -> Platform.Local (local_core app c)
+
+(* The (local memory, direction) class of a communication: a DMA transfer
+   can only group communications of the same class. *)
+let cls app c = (local_core app c, direction c)
+
+let size app c = (App.label app c.label).Label.size
+
+let pp app ppf c =
+  let tname = (App.task app c.task).Task.name in
+  let lname = (App.label app c.label).Label.name in
+  match c.kind with
+  | Write -> Fmt.pf ppf "W(%s,%s)" tname lname
+  | Read -> Fmt.pf ppf "R(%s,%s)" lname tname
+
+let pp_plain ppf c =
+  match c.kind with
+  | Write -> Fmt.pf ppf "W(t%d,l%d)" c.task c.label
+  | Read -> Fmt.pf ppf "R(l%d,t%d)" c.label c.task
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,47 @@
+(** LET communications (Section III.B): a write [W(tau_p, l)] moves the
+    producer's local copy of label [l] to global memory; a read
+    [R(l, tau_c)] moves the global instance into the consumer's local
+    copy. *)
+
+open Rt_model
+
+type kind = Write | Read
+
+val equal_kind : kind -> kind -> bool
+
+type t = {
+  kind : kind;
+  task : int;  (** producer for [Write], consumer for [Read] *)
+  label : int;
+}
+
+val write : task:int -> label:int -> t
+val read : task:int -> label:int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** The core whose scratchpad this communication touches. *)
+val local_core : App.t -> t -> int
+
+type direction = To_global | From_global
+
+val direction : t -> direction
+val src_memory : App.t -> t -> Platform.memory
+val dst_memory : App.t -> t -> Platform.memory
+
+(** [(local core, direction)] — communications can share a DMA transfer
+    only within one class (a transfer has a single source and a single
+    destination memory). *)
+val cls : App.t -> t -> int * direction
+
+(** Bytes moved. *)
+val size : App.t -> t -> int
+
+(** Pretty-print with task/label names, e.g. [W(SFM,sfm_out)]. *)
+val pp : App.t -> Format.formatter -> t -> unit
+
+(** Name-free form, e.g. [W(t3,l7)]. *)
+val pp_plain : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,62 @@
+open Rt_model
+
+(* Necessary-communication instants for a producer/consumer pair, after
+   Biondi & Di Natale (RTAS 2018), Eqs. (1)-(2) of the paper.
+
+   The paper's subscript conventions in Eqs. (1)-(2) are internally
+   inconsistent with Algorithm 1 (see DESIGN.md); the unambiguous semantics
+   implemented here is:
+   - a LET write is necessary only if it is the last write at or before
+     some consumer read ("skip writes that get overwritten unread");
+   - a LET read is necessary only if it is the first read at or after some
+     write ("skip reads of unchanged data").
+   Both instant sets repeat with period lcm(T_w, T_c). When the writer is
+   not oversampled (T_w >= T_c) every writer release is necessary, and
+   symmetrically for reads, which the closed forms below reproduce. *)
+
+(* eta^W: index of the writer job performing the necessary write for the
+   v-th consumer read. *)
+let eta_w ~tw ~tc v =
+  if tw < tc then v * tc / tw (* floor division on non-negative ints *)
+  else v
+
+(* eta^R: index of the consumer job performing the necessary read of the
+   v-th write. *)
+let eta_r ~tw ~tc v =
+  if tc < tw then (v * tw + tc - 1) / tc (* ceiling division *)
+  else v
+
+let sort_uniq_times l = List.sort_uniq Time.compare l
+
+(* Instants in [0, lcm tw tc) at which the writer must perform a LET write
+   towards this consumer. When the writer is oversampled (tw < tc), only
+   the last write at/before each consumer read is necessary (enumerated
+   over consumer jobs); otherwise every writer release is. *)
+let write_instants ~tw ~tc =
+  if tw <= 0 || tc <= 0 then invalid_arg "Eta.write_instants: periods must be positive";
+  let h = Time.lcm tw tc in
+  if tw < tc then
+    sort_uniq_times (List.init (h / tc) (fun v -> eta_w ~tw ~tc v * tw))
+  else List.init (h / tw) (fun v -> v * tw)
+
+(* Instants in [0, lcm tw tc) at which the consumer must perform a LET read
+   from this producer. When the consumer is oversampled (tc < tw), only the
+   first read at/after each write is necessary (enumerated over writer
+   jobs; the ceiling can land exactly on the period boundary, which folds
+   onto instant 0 of the next cycle); otherwise every consumer release
+   is. *)
+let read_instants ~tw ~tc =
+  if tw <= 0 || tc <= 0 then invalid_arg "Eta.read_instants: periods must be positive";
+  let h = Time.lcm tw tc in
+  if tc < tw then
+    sort_uniq_times (List.init (h / tw) (fun v -> eta_r ~tw ~tc v * tc mod h))
+  else List.init (h / tc) (fun v -> v * tc)
+
+(* Membership tests for absolute times (folded modulo the pair period). *)
+let write_needed_at ~tw ~tc t =
+  let h = Time.lcm tw tc in
+  t mod tw = 0 && List.mem (t mod h) (write_instants ~tw ~tc)
+
+let read_needed_at ~tw ~tc t =
+  let h = Time.lcm tw tc in
+  t mod tc = 0 && List.mem (t mod h) (read_instants ~tw ~tc)

@@ -1,0 +1,30 @@
+(** Necessary LET communication instants, Eqs. (1)-(2) of the paper
+    (following Biondi & Di Natale, RTAS 2018).
+
+    When a producer is oversampled w.r.t. a consumer, writes whose data
+    would be overwritten before being read can be skipped; when a consumer
+    is oversampled, reads of unchanged data can be skipped. Both patterns
+    repeat with period [lcm tw tc]. *)
+
+open Rt_model
+
+(** [eta_w ~tw ~tc v] is the index of the writer job that performs the
+    necessary write serving the [v]-th consumer read. *)
+val eta_w : tw:Time.t -> tc:Time.t -> int -> int
+
+(** [eta_r ~tw ~tc v] is the index of the consumer job that performs the
+    necessary read of the [v]-th write. *)
+val eta_r : tw:Time.t -> tc:Time.t -> int -> int
+
+(** Sorted distinct instants in [0, lcm tw tc) at which the writer must
+    perform a LET write towards this consumer. *)
+val write_instants : tw:Time.t -> tc:Time.t -> Time.t list
+
+(** Sorted distinct instants in [0, lcm tw tc) at which the consumer must
+    perform a LET read from this producer. *)
+val read_instants : tw:Time.t -> tc:Time.t -> Time.t list
+
+(** Membership tests for absolute times (folded modulo [lcm tw tc]). *)
+val write_needed_at : tw:Time.t -> tc:Time.t -> Time.t -> bool
+
+val read_needed_at : tw:Time.t -> tc:Time.t -> Time.t -> bool

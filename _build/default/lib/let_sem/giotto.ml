@@ -1,0 +1,27 @@
+open Rt_model
+
+(* The original Giotto/LET ordering (Section IV): at each communication
+   instant, first every LET write of the released task instances, then
+   every LET read, and only then do the released tasks become ready. *)
+
+(* Deterministic canonical order: writes before reads; within a kind, by
+   (core, task id, label id), so per-core sequences are contiguous. *)
+let order app comms =
+  let key (c : Comm.t) =
+    let kind_rank = match c.Comm.kind with Comm.Write -> 0 | Comm.Read -> 1 in
+    (kind_rank, Comm.local_core app c, c.Comm.task, c.Comm.label)
+  in
+  List.sort (fun a b -> compare (key a) (key b)) (Comm.Set.elements comms)
+
+(* One singleton DMA transfer per communication, in Giotto order: the
+   paper's Giotto-DMA-A baseline (no knowledge of the memory layout, so no
+   grouping is possible). *)
+let singleton_transfers app comms = List.map (fun c -> [ c ]) (order app comms)
+
+(* The per-core copy sequences executed by the LET tasks in the Giotto-CPU
+   baseline: writes of the core first, then its reads, preserving the
+   global write-before-read barrier checked by the simulator. *)
+let per_core_sequences app comms =
+  let ordered = order app comms in
+  List.init (App.platform app).Platform.n_cores (fun k ->
+      List.filter (fun c -> Comm.local_core app c = k) ordered)

@@ -1,0 +1,17 @@
+(** The original Giotto ordering of LET communications (Section IV): all
+    writes of the instant first, then all reads, then every released task
+    becomes ready simultaneously. Used by the three baselines of the
+    paper's evaluation. *)
+
+open Rt_model
+
+(** Canonical Giotto order of a communication set: writes before reads,
+    deterministic within each kind. *)
+val order : App.t -> Comm.Set.t -> Comm.t list
+
+(** Giotto-DMA-A: one singleton transfer per communication, ordered. *)
+val singleton_transfers : App.t -> Comm.Set.t -> Comm.t list list
+
+(** Giotto-CPU: the copy sequence each core's LET task executes (index =
+    core). *)
+val per_core_sequences : App.t -> Comm.Set.t -> Comm.t list list

@@ -1,0 +1,9 @@
+(** LET semantics (Sections IV and V.A of the paper): communications,
+    necessary-communication instants, Algorithm 1 grouping, the Giotto
+    canonical order, and checkers for Properties 1-3. *)
+
+module Comm = Comm
+module Eta = Eta
+module Groups = Groups
+module Giotto = Giotto
+module Properties = Properties

@@ -1,0 +1,140 @@
+open Rt_model
+
+(* Checkers for the LET correctness properties of Section IV, stated over
+   an ordered list of DMA transfers (each a list of communications). They
+   are used to validate MILP solutions, heuristic schedules and the
+   baselines, and in property-based tests. *)
+
+type plan = Comm.t list list
+
+let ( let* ) = Result.bind
+
+let err fmt = Fmt.kstr (fun s -> Error s) fmt
+
+let index_of plan pred =
+  let rec go i = function
+    | [] -> None
+    | g :: rest -> if List.exists pred g then Some i else go (i + 1) rest
+  in
+  go 0 plan
+
+let all_comms plan = List.concat plan
+
+(* The plan must partition [expected]: cover every communication exactly
+   once and contain nothing else. *)
+let well_formed ~expected (plan : plan) =
+  let listed = all_comms plan in
+  let listed_set = Comm.Set.of_list listed in
+  if List.length listed <> Comm.Set.cardinal listed_set then
+    err "plan contains duplicate communications"
+  else if not (Comm.Set.equal listed_set expected) then
+    let missing = Comm.Set.diff expected listed_set in
+    let extra = Comm.Set.diff listed_set expected in
+    err "plan mismatch: %d missing, %d extraneous communications"
+      (Comm.Set.cardinal missing) (Comm.Set.cardinal extra)
+  else Ok ()
+
+(* Every transfer moves data between one source and one destination
+   memory, i.e. all its communications share a (core, direction) class. *)
+let single_class app (plan : plan) =
+  let rec go i = function
+    | [] -> Ok ()
+    | [] :: _ -> err "transfer %d is empty" i
+    | (c :: rest) :: more ->
+      let cl = Comm.cls app c in
+      if List.for_all (fun c' -> Comm.cls app c' = cl) rest then go (i + 1) more
+      else err "transfer %d mixes source/destination memories" i
+  in
+  go 0 plan
+
+(* Property 1: every LET write of a task precedes every LET read of the
+   same task (strictly earlier transfer). *)
+let property1 (plan : plan) =
+  let tasks_with pred =
+    List.fold_left
+      (fun acc c -> if pred c then c.Comm.task :: acc else acc)
+      [] (all_comms plan)
+    |> List.sort_uniq Int.compare
+  in
+  let writers = tasks_with (fun c -> c.Comm.kind = Comm.Write) in
+  let rec check = function
+    | [] -> Ok ()
+    | task :: rest ->
+      let last_write =
+        List.fold_left
+          (fun acc (i, g) ->
+            if
+              List.exists
+                (fun c -> c.Comm.kind = Comm.Write && c.Comm.task = task)
+                g
+            then max acc i
+            else acc)
+          (-1)
+          (List.mapi (fun i g -> (i, g)) plan)
+      in
+      let first_read =
+        index_of plan (fun c -> c.Comm.kind = Comm.Read && c.Comm.task = task)
+      in
+      (match first_read with
+       | Some r when r <= last_write ->
+         err "Property 1 violated for task %d: write in transfer %d, read in %d"
+           task last_write r
+       | Some _ | None -> check rest)
+  in
+  check writers
+
+(* Property 2: for each label communicated at this instant, the write
+   precedes every read (strictly earlier transfer). *)
+let property2 (plan : plan) =
+  let labels_written =
+    List.filter_map
+      (fun c -> if c.Comm.kind = Comm.Write then Some c.Comm.label else None)
+      (all_comms plan)
+    |> List.sort_uniq Int.compare
+  in
+  let rec check = function
+    | [] -> Ok ()
+    | label :: rest ->
+      let w =
+        index_of plan (fun c -> c.Comm.kind = Comm.Write && c.Comm.label = label)
+      in
+      let r =
+        index_of plan (fun c -> c.Comm.kind = Comm.Read && c.Comm.label = label)
+      in
+      (match (w, r) with
+       | Some w, Some r when r <= w ->
+         err "Property 2 violated for label %d: write in transfer %d, read in %d"
+           label w r
+       | _ -> check rest)
+  in
+  check labels_written
+
+let transfer_bytes app g =
+  List.fold_left (fun acc c -> acc + Comm.size app c) 0 g
+
+(* Worst-case duration of executing the whole plan with the DMA protocol:
+   each transfer pays lambda_O = o_DP + o_ISR plus the linear copy time. *)
+let duration app (plan : plan) =
+  let p = App.platform app in
+  List.fold_left
+    (fun acc g ->
+      Time.(acc + Platform.lambda_o p + Platform.dma_copy_time p (transfer_bytes app g)))
+    Time.zero plan
+
+(* Property 3: the whole burst completes within [gap], the distance to the
+   next communication instant. *)
+let property3 app ~gap (plan : plan) =
+  let d = duration app plan in
+  if Time.compare d gap <= 0 then Ok ()
+  else
+    err "Property 3 violated: burst takes %a but the next instant is %a away"
+      Time.pp d Time.pp gap
+
+(* Full validation of a plan for pattern occurring [gap] before the next
+   instant; [expected] is the communication set of that instant. *)
+let check_all app ~expected ~gap plan =
+  let* () = well_formed ~expected plan in
+  let* () = single_class app plan in
+  let* () = property1 plan in
+  let* () = property2 plan in
+  property3 app ~gap plan

@@ -1,0 +1,40 @@
+(** Checkers for the LET correctness properties of Section IV.
+
+    A {e plan} is the ordered list of DMA transfers issued at one
+    communication instant; each transfer is the list of communications it
+    carries. These checkers validate MILP solutions, heuristic schedules,
+    the Giotto baselines, and serve as oracles in property-based tests. *)
+
+open Rt_model
+
+type plan = Comm.t list list
+
+(** The plan partitions [expected]: every communication exactly once. *)
+val well_formed : expected:Comm.Set.t -> plan -> (unit, string) result
+
+(** Each transfer's communications share one (core, direction) class — a
+    DMA transfer has a single source and destination memory. *)
+val single_class : App.t -> plan -> (unit, string) result
+
+(** Property 1: every LET write of a task is in a strictly earlier
+    transfer than every LET read of the same task. *)
+val property1 : plan -> (unit, string) result
+
+(** Property 2: for every label, its write is in a strictly earlier
+    transfer than each of its reads. *)
+val property2 : plan -> (unit, string) result
+
+(** Total bytes moved by one transfer. *)
+val transfer_bytes : App.t -> Comm.t list -> int
+
+(** Worst-case duration of the plan under the DMA protocol: per transfer,
+    lambda_O = o_DP + o_ISR plus the linear copy cost. *)
+val duration : App.t -> plan -> Time.t
+
+(** Property 3: the plan completes within [gap] (distance to the next
+    communication instant). *)
+val property3 : App.t -> gap:Time.t -> plan -> (unit, string) result
+
+(** All of the above in sequence; first failure wins. *)
+val check_all :
+  App.t -> expected:Comm.Set.t -> gap:Time.t -> plan -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/letdma/letdma.ml: Baselines Experiment Fig1 Formulation Heuristic Let_task Report Solution Solve

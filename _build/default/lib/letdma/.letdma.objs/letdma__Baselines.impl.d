@@ -1,0 +1,1 @@
+lib/letdma/baselines.ml: Allocation Comm Dma_sim Giotto Groups Layout Let_sem List Mem_layout Sim Solution

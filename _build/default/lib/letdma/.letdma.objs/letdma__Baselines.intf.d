@@ -1,0 +1,1 @@
+lib/letdma/baselines.mli: Allocation App Comm Dma_sim Groups Let_sem Mem_layout Properties Rt_model Sim Solution

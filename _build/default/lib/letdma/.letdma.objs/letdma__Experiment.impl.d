@@ -1,0 +1,1 @@
+lib/letdma/experiment.ml: Array Baselines Comm Dma_sim Float Fmt Formulation Groups Heuristic Let_sem List Milp Option Rt_analysis Rt_model Sim Solution Solve Time

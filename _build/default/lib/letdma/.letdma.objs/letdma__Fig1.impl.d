@@ -1,0 +1,1 @@
+lib/letdma/fig1.ml: App Array Baselines Buffer Dma_sim Fmt Groups Heuristic Label Let_sem List Platform Rt_model Sim Task Time Trace

@@ -1,0 +1,1 @@
+lib/letdma/fig1.mli: App Rt_model Time

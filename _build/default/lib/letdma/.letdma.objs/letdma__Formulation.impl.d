@@ -1,0 +1,1 @@
+lib/letdma/formulation.ml: App Array Comm Float Fmt Groups Hashtbl Int Label Let_sem List Mem_layout Milp Platform Properties Rt_model Solution Task Time

@@ -1,0 +1,1 @@
+lib/letdma/heuristic.ml: Allocation App Array Comm Float Fmt Groups Hashtbl Int Layout Let_sem List Mem_layout Option Platform Rt_model Solution Time

@@ -1,0 +1,1 @@
+lib/letdma/heuristic.mli: App Groups Let_sem Rt_model Solution Time

@@ -1,0 +1,1 @@
+lib/letdma/let_task.ml: App Array Comm Fmt Fun Groups Let_sem List Platform Rt_analysis Rt_model Solution Task Time

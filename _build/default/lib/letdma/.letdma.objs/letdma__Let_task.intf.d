@@ -1,0 +1,1 @@
+lib/letdma/let_task.mli: App Format Groups Let_sem Rt_model Solution Time

@@ -1,0 +1,1 @@
+lib/letdma/report.ml: App Array Baselines Dma_sim Experiment Float Fmt Formulation List Milp Rt_model Sim Solve String Task Time

@@ -1,0 +1,1 @@
+lib/letdma/solution.ml: Allocation App Array Comm Fmt Groups Int Layout Let_sem List Mem_layout Platform Properties Result Rt_model Time

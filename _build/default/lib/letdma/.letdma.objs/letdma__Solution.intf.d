@@ -1,0 +1,1 @@
+lib/letdma/solution.mli: Allocation App Comm Format Groups Let_sem Mem_layout Properties Rt_model Time

@@ -1,0 +1,1 @@
+lib/letdma/solve.ml: Allocation Comm Fmt Formulation Groups Layout Let_sem List Logs Mem_layout Milp Solution Unix

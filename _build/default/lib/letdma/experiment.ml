@@ -1,0 +1,204 @@
+open Rt_model
+open Let_sem
+open Dma_sim
+
+(* End-to-end experiment pipelines reproducing the paper's evaluation
+   (Section VII): configure gamma by sensitivity analysis, solve the
+   allocation/scheduling problem, simulate the four approaches, and report
+   latencies, ratios and solver statistics. *)
+
+type solver =
+  | Milp of {
+      objective : Formulation.objective;
+      options : Formulation.options;
+      time_limit_s : float;
+      node_limit : int;
+      warm_start : bool;
+    }
+  | Heuristic
+
+let milp ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
+    ?(node_limit = 200_000) ?(warm_start = true) objective =
+  Milp { objective; options; time_limit_s; node_limit; warm_start }
+
+let solver_name = function
+  | Milp { objective; _ } -> Formulation.objective_name objective
+  | Heuristic -> "HEURISTIC"
+
+type config_result = {
+  alpha : float;
+  solver : solver;
+  gamma : Time.t array;
+  solution : Solution.t;
+  solve_stats : Solve.stats option; (* None for the heuristic *)
+  num_transfers : int; (* DMA transfers at s0 — Table I's metric *)
+  metrics : (Baselines.approach * Sim.metrics) list;
+}
+
+let metrics_of r approach = List.assoc approach r.metrics
+
+(* lambda ratio of the proposed approach vs a baseline, per task: the
+   quantity on Fig. 2's Y axis. *)
+let ratio r approach task =
+  let ours = (metrics_of r Baselines.Proposed).Sim.lambda.(task) in
+  let other = (metrics_of r approach).Sim.lambda.(task) in
+  if Time.compare other Time.zero = 0 then
+    if Time.compare ours Time.zero = 0 then 1.0 else infinity
+  else float_of_int (Time.to_ns ours) /. float_of_int (Time.to_ns other)
+
+(* Largest improvement over a baseline across tasks (the paper's "up to
+   98%" headline = 1 - min ratio). *)
+let best_improvement r approach =
+  let app_tasks = Array.length r.gamma in
+  let best = ref 0.0 in
+  for i = 0 to app_tasks - 1 do
+    let rho = ratio r approach i in
+    if rho < 1.0 then best := Float.max !best (1.0 -. rho)
+  done;
+  !best
+
+let run_config ?(cpu_model = Sim.Parallel_phases) ?(solver = Heuristic) app
+    ~alpha =
+  let groups = Groups.compute app in
+  if Comm.Set.is_empty (Groups.s0 groups) then
+    Error "no inter-core communications"
+  else
+    match Rt_analysis.Sensitivity.gammas app ~alpha with
+    | None -> Error "task set unschedulable at zero jitter"
+    | Some s when not s.Rt_analysis.Sensitivity.schedulable ->
+      Error (Fmt.str "task set unschedulable with alpha=%.2f jitter bound" alpha)
+    | Some s ->
+      let gamma = s.Rt_analysis.Sensitivity.gamma in
+      let solution, solve_stats =
+        match solver with
+        | Heuristic -> (Heuristic.solve_unchecked app groups ~gamma, None)
+        | Milp { objective; options; time_limit_s; node_limit; warm_start } ->
+          let warm =
+            if warm_start then
+              (* warm-start with the heuristic variant matching the
+                 objective: maximal grouping for OBJ-DMAT, per-task
+                 latency-oriented transfers otherwise *)
+              let granularity =
+                match objective with
+                | Formulation.Min_transfers -> Heuristic.Grouped
+                | Formulation.No_obj | Formulation.Min_delay_ratio ->
+                  Heuristic.Per_task
+              in
+              Heuristic.solve_unchecked ~granularity app groups ~gamma
+            else None
+          in
+          let r =
+            Solve.solve ~options ~time_limit_s ~node_limit ?warm objective app
+              groups ~gamma
+          in
+          (r.Solve.solution, Some r.Solve.stats)
+      in
+      (match solution with
+       | None ->
+         Error
+           (Fmt.str "solver found no feasible plan (alpha=%.2f, %s)" alpha
+              (solver_name solver))
+       | Some solution ->
+         let metrics =
+           List.map
+             (fun a ->
+               (a, Baselines.run ~cpu_model app groups a ~solution:(Some solution)))
+             Baselines.all_approaches
+         in
+         Ok
+           {
+             alpha;
+             solver;
+             gamma;
+             solution;
+             solve_stats;
+             num_transfers = Solution.num_transfers solution;
+             metrics;
+           })
+
+(* The paper's Fig. 2 grid: alphas 0.2 and 0.4, the three objectives. *)
+let fig2 ?(alphas = [ 0.2; 0.4 ])
+    ?(objectives = [ Formulation.No_obj; Formulation.Min_transfers; Formulation.Min_delay_ratio ])
+    ?(time_limit_s = 60.0) ?cpu_model app =
+  List.concat_map
+    (fun alpha ->
+      List.map
+        (fun objective ->
+          ((alpha, objective),
+           run_config ?cpu_model ~solver:(milp ~time_limit_s objective) app
+             ~alpha))
+        objectives)
+    alphas
+
+(* Table I: solver running time and number of DMA transfers per objective
+   and alpha. *)
+type table1_row = {
+  objective : Formulation.objective;
+  t_alpha : float;
+  time_s : float option;
+  transfers : int option;
+  status : string;
+}
+
+(* Build Table I rows from already-computed Fig. 2 results (same
+   configurations; avoids re-solving). *)
+let table1_of_results results =
+  List.map
+    (fun ((alpha, objective), res) ->
+      match res with
+      | Ok r ->
+        {
+          objective;
+          t_alpha = alpha;
+          time_s = Option.map (fun s -> s.Solve.time_s) r.solve_stats;
+          transfers = Some r.num_transfers;
+          status =
+            (match r.solve_stats with
+             | Some { Solve.status = Milp.Branch_bound.Optimal; _ } -> "optimal"
+             | Some { Solve.status = Milp.Branch_bound.Feasible; _ } ->
+               "feasible (limit)"
+             | Some _ -> "other"
+             | None -> "heuristic");
+        }
+      | Error e ->
+        { objective; t_alpha = alpha; time_s = None; transfers = None; status = e })
+    results
+
+let table1 ?(alphas = [ 0.2; 0.4 ])
+    ?(objectives = [ Formulation.No_obj; Formulation.Min_transfers; Formulation.Min_delay_ratio ])
+    ?(time_limit_s = 60.0) ?cpu_model app =
+  List.concat_map
+    (fun objective ->
+      List.map
+        (fun alpha ->
+          match
+            run_config ?cpu_model ~solver:(milp ~time_limit_s objective) app
+              ~alpha
+          with
+          | Ok r ->
+            {
+              objective;
+              t_alpha = alpha;
+              time_s = Option.map (fun s -> s.Solve.time_s) r.solve_stats;
+              transfers = Some r.num_transfers;
+              status =
+                (match r.solve_stats with
+                 | Some { Solve.status = Milp.Branch_bound.Optimal; _ } -> "optimal"
+                 | Some { Solve.status = Milp.Branch_bound.Feasible; _ } ->
+                   "feasible (limit)"
+                 | Some _ -> "other"
+                 | None -> "heuristic");
+            }
+          | Error e ->
+            { objective; t_alpha = alpha; time_s = None; transfers = None; status = e })
+        alphas)
+    objectives
+
+(* The alpha sweep of Section VII: feasibility for alpha in {0.1..0.5}. *)
+let alpha_sweep ?(alphas = [ 0.1; 0.2; 0.3; 0.4; 0.5 ]) ?(time_limit_s = 60.0)
+    ?(objective = Formulation.No_obj) ?cpu_model app =
+  List.map
+    (fun alpha ->
+      (alpha,
+       run_config ?cpu_model ~solver:(milp ~time_limit_s objective) app ~alpha))
+    alphas

@@ -1,0 +1,14 @@
+(** The worked example of the paper's Fig. 1: six tasks on two cores,
+    three inter-core flows, rendered as ASCII Gantt charts comparing the
+    proposed protocol's re-ordered schedule against the Giotto ordering. *)
+
+open Rt_model
+
+(** The 6-task, 2-core application of the figure. *)
+val app : unit -> App.t
+
+(** The example's data-acquisition deadlines (tau2 is latency-critical). *)
+val gamma : App.t -> Time.t array
+
+(** Both schedules at s0 plus the event log, as printable text. *)
+val render : unit -> string

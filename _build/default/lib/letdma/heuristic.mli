@@ -1,0 +1,39 @@
+(** Greedy scheduler/allocator: a scalable alternative to the MILP, its
+    warm-start generator, and an ablation baseline.
+
+    Transfers are built per (task, class, instant-signature) — or per
+    (class, signature) with [Grouped] — so each transfer projects
+    atomically onto every C(t) and Constraint 6 holds by construction;
+    the allocation concatenates transfer blocks (reads-major and
+    writes-major are both tried); transfers are ordered by deadline-driven
+    list scheduling. *)
+
+open Rt_model
+open Let_sem
+
+type granularity =
+  | Per_task  (** finest readiness; best for latency objectives *)
+  | Grouped  (** fewest transfers; the OBJ-DMAT warm start *)
+
+(** [solve app groups ~gamma] returns a validated solution or the reason
+    validation failed (e.g. a Property-3 overload). *)
+val solve :
+  ?granularity:granularity ->
+  App.t ->
+  Groups.t ->
+  gamma:Time.t array ->
+  (Solution.t, string) result
+
+(** Like {!solve} but returns the best plan even when it fails validation
+    ([None] only without inter-core communications). *)
+val solve_unchecked :
+  ?granularity:granularity ->
+  App.t ->
+  Groups.t ->
+  gamma:Time.t array ->
+  Solution.t option
+
+(** Worst lambda_i(s0)/gamma_i over tasks (<= 1 means all data-acquisition
+    deadlines hold at s0); the selection criterion between allocation
+    majors. *)
+val criticality : App.t -> gamma:Time.t array -> Solution.t -> float

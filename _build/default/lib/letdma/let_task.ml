@@ -1,0 +1,129 @@
+open Rt_model
+open Let_sem
+
+(* Schedulability analysis of the LET tasks (Section V.C of the paper).
+
+   For each core P_k, the LET task tau_LET,k runs at the highest priority
+   and is released at every instant where a transfer touching M_k must be
+   programmed. Between programming (o_DP of CPU time) and the completion
+   ISR (o_ISR) the task self-suspends while the DMA copies — so, as the
+   paper notes, tau_LET,k behaves like a generalized multiframe task with
+   segmented self-suspension, and each execution segment can be modelled
+   as an independent sporadic task when bounding the interference on the
+   lower-priority application tasks of the same core. *)
+
+type segment = {
+  slot : int; (* transfer slot index at s0 *)
+  core : int;
+  wcet : Time.t; (* CPU time per occurrence: o_DP + o_ISR *)
+  min_interarrival : Time.t; (* tightest observed inter-occurrence gap *)
+}
+
+(* Occurrence instants of each transfer slot within one hyperperiod: a
+   slot occurs at t whenever at least one of its communications is
+   necessary at t. *)
+let slot_occurrences groups (solution : Solution.t) =
+  let plan0 = Solution.s0_plan (Groups.app groups) solution in
+  let slots = Array.of_list plan0 in
+  let occurrences = Array.make (Array.length slots) [] in
+  List.iter
+    (fun t ->
+      let present = Groups.comms_at groups t in
+      Array.iteri
+        (fun g comms ->
+          if List.exists (fun c -> Comm.Set.mem c present) comms then
+            occurrences.(g) <- t :: occurrences.(g))
+        slots)
+    (Groups.instants groups);
+  (slots, Array.map List.rev occurrences)
+
+let min_gap_cyclic h = function
+  | [] | [ _ ] -> h
+  | first :: _ as ts ->
+    let rec go acc = function
+      | a :: (b :: _ as rest) -> go (Time.min acc Time.(b - a)) rest
+      | [ last ] -> Time.min acc Time.(h - last + first)
+      | [] -> acc
+    in
+    go max_int ts
+
+(* One sporadic segment per transfer slot handled by [core]'s LET task. *)
+let segments app groups solution ~core =
+  let platform = App.platform app in
+  let h = App.hyperperiod app in
+  let slots, occurrences = slot_occurrences groups solution in
+  Array.to_list
+    (Array.mapi
+       (fun g comms ->
+         match comms with
+         | c :: _ when Comm.local_core app c = core && occurrences.(g) <> [] ->
+           Some
+             {
+               slot = g;
+               core;
+               wcet = Platform.lambda_o platform;
+               min_interarrival = min_gap_cyclic h occurrences.(g);
+             }
+         | _ -> None)
+       slots)
+  |> List.filter_map Fun.id
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Response time of application task [i], adding the interference of its
+   core's LET-task segments (each treated as an independent sporadic task
+   at the highest priority) on top of the usual higher-priority load. *)
+let response_time_with_let app groups solution ~jitter i =
+  let t = App.task app i in
+  let hp = Rt_analysis.Rta.hp_tasks app t in
+  let segs = segments app groups solution ~core:t.Task.core in
+  let deadline = Task.deadline t in
+  let budget = Time.(deadline - jitter.(i)) in
+  let rec fixpoint r =
+    let demand =
+      List.fold_left
+        (fun acc (j : Task.t) ->
+          Time.(
+            acc
+            + ceil_div Time.(r + jitter.(j.Task.id)) j.Task.period * j.Task.wcet))
+        t.Task.wcet hp
+    in
+    let demand =
+      List.fold_left
+        (fun acc s -> Time.(acc + (ceil_div r s.min_interarrival * s.wcet)))
+        demand segs
+    in
+    if Time.compare demand r <= 0 then Some r
+    else if Time.compare demand budget > 0 then None
+    else fixpoint demand
+  in
+  if Time.compare t.Task.wcet budget > 0 then None else fixpoint t.Task.wcet
+
+(* Whole-system schedulability including the LET-task overhead: every
+   application task still meets its implicit deadline with its
+   data-acquisition latency as release jitter. *)
+let schedulable_with_let app groups solution ~jitter =
+  List.for_all
+    (fun (t : Task.t) ->
+      match response_time_with_let app groups solution ~jitter t.Task.id with
+      | Some r -> Time.compare Time.(r + jitter.(t.Task.id)) (Task.deadline t) <= 0
+      | None -> false)
+    (App.tasks app)
+
+(* The extra response time each task pays for the LET machinery (None if
+   either analysis diverges). *)
+let let_overhead app groups solution ~jitter i =
+  match
+    ( Rt_analysis.Rta.response_time app ~jitter i,
+      response_time_with_let app groups solution ~jitter i )
+  with
+  | Some base, Some full -> Some Time.(full - base)
+  | _ -> None
+
+let pp_segments ppf segs =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(
+      list ~sep:cut (fun ppf s ->
+          pf ppf "  slot #%d on P%d: C=%a, minIA=%a" s.slot (s.core + 1) Time.pp
+            s.wcet Time.pp s.min_interarrival))
+    segs

@@ -1,0 +1,38 @@
+(** Schedulability analysis of the LET tasks (Section V.C).
+
+    tau_LET,k runs at the highest priority of core k, self-suspending
+    between programming a transfer (o_DP of CPU time) and its completion
+    ISR (o_ISR): a generalized multiframe task with segmented
+    self-suspension. As the paper suggests, each execution segment is
+    modelled as an independent sporadic task when bounding the
+    interference on the core's application tasks. *)
+
+open Rt_model
+open Let_sem
+
+type segment = {
+  slot : int;  (** transfer slot index at s0 *)
+  core : int;
+  wcet : Time.t;  (** CPU time per occurrence: o_DP + o_ISR *)
+  min_interarrival : Time.t;  (** tightest inter-occurrence gap *)
+}
+
+(** One sporadic segment per transfer slot whose local memory belongs to
+    [core]. *)
+val segments : App.t -> Groups.t -> Solution.t -> core:int -> segment list
+
+(** Response time of an application task including the LET segments'
+    interference; [None] when the recurrence diverges past the deadline. *)
+val response_time_with_let :
+  App.t -> Groups.t -> Solution.t -> jitter:Time.t array -> int -> Time.t option
+
+(** Every application task meets its implicit deadline with its
+    data-acquisition latency as release jitter, LET overhead included. *)
+val schedulable_with_let :
+  App.t -> Groups.t -> Solution.t -> jitter:Time.t array -> bool
+
+(** Extra response time attributable to the LET machinery. *)
+val let_overhead :
+  App.t -> Groups.t -> Solution.t -> jitter:Time.t array -> int -> Time.t option
+
+val pp_segments : Format.formatter -> segment list -> unit

@@ -1,0 +1,24 @@
+(** Optimal memory allocation and scheduling for DMA data transfers under
+    the LET paradigm — the paper's core contribution.
+
+    - {!Formulation}: the MILP of Section VI (Constraints 1-10, objectives
+      Eq. (4)/(5)), with lazy or full Constraint-6 generation;
+    - {!Solve}: the branch-and-bound driver with the lazy contiguity loop;
+    - {!Solution}: decoded allocations + ordered transfer slots, projected
+      onto every communication instant;
+    - {!Heuristic}: a greedy scheduler/allocator (warm starts, scalability
+      ablations);
+    - {!Baselines}: the Giotto-CPU / Giotto-DMA-A / Giotto-DMA-B baselines
+      of the evaluation;
+    - {!Experiment} and {!Report}: the Fig. 2 / Table I / alpha-sweep
+      pipelines and their plain-text rendering. *)
+
+module Formulation = Formulation
+module Solve = Solve
+module Solution = Solution
+module Heuristic = Heuristic
+module Baselines = Baselines
+module Experiment = Experiment
+module Report = Report
+module Fig1 = Fig1
+module Let_task = Let_task

@@ -1,0 +1,102 @@
+open Rt_model
+open Let_sem
+open Mem_layout
+
+(* A solved configuration of the LET-DMA protocol: the memory allocation
+   plus the ordered DMA transfer slots at the synchronous instant s0. The
+   plan at any other instant is the projection of the s0 slots onto C(t)
+   (Theorem 1 of the paper relies on every projection staying
+   contiguous). *)
+
+type t = {
+  allocation : Allocation.t;
+  slots : Comm.t list array; (* slot g -> its communications; may be empty *)
+}
+
+let make ~allocation ~slots = { allocation; slots }
+
+let allocation t = t.allocation
+
+(* Order a transfer's communications bottom-to-top in the local memory (the
+   global memory order is identical for feasible solutions). *)
+let sort_transfer app t g =
+  match g with
+  | [] -> []
+  | c :: _ ->
+    let layout = Allocation.layout t.allocation (Comm.src_memory app c) in
+    let layout =
+      if Layout.mem_label layout c.Comm.label then layout
+      else Allocation.layout t.allocation (Comm.dst_memory app c)
+    in
+    List.sort
+      (fun a b ->
+        Int.compare
+          (Layout.position layout a.Comm.label)
+          (Layout.position layout b.Comm.label))
+      g
+
+(* The ordered plan at s0: non-empty slots in slot order. *)
+let s0_plan app t =
+  Array.to_list t.slots
+  |> List.filter_map (function
+       | [] -> None
+       | g -> Some (sort_transfer app t g))
+
+(* Number of DMA transfers at s0 — the paper's Table I metric. *)
+let num_transfers t =
+  Array.fold_left (fun acc g -> if g = [] then acc else acc + 1) 0 t.slots
+
+(* D(t): the s0 slots projected onto C(t), empty projections dropped. *)
+let plan_at app groups t time =
+  let present = Groups.comms_at groups time in
+  Array.to_list t.slots
+  |> List.filter_map (fun g ->
+         match List.filter (fun c -> Comm.Set.mem c present) g with
+         | [] -> None
+         | g' -> Some (sort_transfer app t g'))
+
+let schedule app groups t = fun time -> plan_at app groups t time
+
+(* Full validation: every pattern's projected plan is well-formed, LET-
+   correct, contiguous under the allocation, and meets Property 3 against
+   the pattern's tightest gap. *)
+let validate app groups t =
+  let rec go = function
+    | [] -> Ok ()
+    | (p : Groups.pattern) :: rest ->
+      let time = List.hd p.Groups.occurrences in
+      let plan = plan_at app groups t time in
+      let ( let* ) = Result.bind in
+      let* () =
+        Properties.check_all app ~expected:p.Groups.comms ~gap:p.Groups.min_gap
+          plan
+      in
+      let* () = Allocation.plan_feasible app t.allocation plan in
+      go rest
+  in
+  go (Groups.patterns groups)
+
+(* Analytic data-acquisition latency at s0 under the protocol's cost model
+   (the expression bounded by Constraint 9): the completion time of the
+   last transfer carrying a communication of the task. *)
+let lambda_s0 app t =
+  let plan = s0_plan app t in
+  let p = App.platform app in
+  let n = App.num_tasks app in
+  let lambda = Array.make n Time.zero in
+  let cursor = ref Time.zero in
+  List.iter
+    (fun g ->
+      let bytes = Properties.transfer_bytes app g in
+      cursor := Time.(!cursor + Platform.lambda_o p + Platform.dma_copy_time p bytes);
+      List.iter (fun c -> lambda.(c.Comm.task) <- !cursor) g)
+    plan;
+  lambda
+
+let pp app ppf t =
+  Fmt.pf ppf "@[<v>%d DMA transfers at s0:@,%a@,%a@]" (num_transfers t)
+    Fmt.(
+      list ~sep:cut (fun ppf (i, g) ->
+          pf ppf "  #%d: [%a]" i Fmt.(list ~sep:(any ", ") (Comm.pp app)) g))
+    (List.mapi (fun i g -> (i, g)) (s0_plan app t))
+    (Allocation.pp app) t.allocation

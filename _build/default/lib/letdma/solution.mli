@@ -1,0 +1,43 @@
+(** A solved LET-DMA configuration: the memory allocation plus the ordered
+    DMA transfer slots at the synchronous instant s0.
+
+    The plan at any other instant t is the projection of the s0 slots onto
+    C(t); Theorem 1 of the paper guarantees (via Constraint 6) that every
+    projection stays contiguous, so the per-instant latency never exceeds
+    the s0 latency. *)
+
+open Rt_model
+open Let_sem
+open Mem_layout
+
+type t
+
+(** [make ~allocation ~slots] wraps raw slots (slot index = execution
+    order; empty slots allowed). *)
+val make : allocation:Allocation.t -> slots:Comm.t list array -> t
+
+val allocation : t -> Allocation.t
+
+(** Ordered plan at s0: non-empty slots, each sorted bottom-to-top in its
+    memories. *)
+val s0_plan : App.t -> t -> Properties.plan
+
+(** Number of DMA transfers at s0 (Table I's metric). *)
+val num_transfers : t -> int
+
+(** D(t): the s0 slots projected onto C(t); empty projections dropped. *)
+val plan_at : App.t -> Groups.t -> t -> Time.t -> Properties.plan
+
+(** The schedule function consumed by {!Dma_sim.Sim}. *)
+val schedule : App.t -> Groups.t -> t -> Time.t -> Properties.plan
+
+(** Every pattern's projected plan is well-formed, LET-correct (Properties
+    1-3 against the pattern's tightest gap) and contiguous under the
+    allocation. *)
+val validate : App.t -> Groups.t -> t -> (unit, string) result
+
+(** Analytic per-task data-acquisition latency at s0 under the protocol's
+    cost model (the quantity Constraint 9 bounds). *)
+val lambda_s0 : App.t -> t -> Time.t array
+
+val pp : App.t -> Format.formatter -> t -> unit

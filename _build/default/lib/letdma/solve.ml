@@ -1,0 +1,176 @@
+open Let_sem
+open Mem_layout
+
+(* Solver driver: branch-and-bound over the formulation, with Constraint 6
+   generated lazily — solve, check every pattern's projected transfers for
+   contiguity under the decoded allocation, add the violated Constraint 6
+   blocks, re-solve. The optimum is unchanged w.r.t. the full formulation
+   (cuts are only added when violated); small instances can force the full
+   model upfront with [options.full_c6] (compared in an ablation bench). *)
+
+let src = Logs.Src.create "letdma.solve" ~doc:"lazy MILP solver driver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type stats = {
+  rounds : int; (* lazy iterations (1 = no violation found) *)
+  c6_constraints : int; (* Constraint 6 rows generated *)
+  nodes : int; (* branch-and-bound nodes over all rounds *)
+  time_s : float;
+  status : Milp.Branch_bound.status; (* of the last round *)
+  gap : float option;
+  milp_vars : int;
+  milp_constraints : int;
+}
+
+type result = {
+  solution : Solution.t option;
+  stats : stats;
+  instance : Formulation.instance;
+}
+
+(* Which branch-and-bound engine explores the tree. Best-first (default)
+   re-solves every node's LP from scratch and proved the more robust
+   choice on this formulation: its fresh primal solves frequently land on
+   integral vertices, which matters for the feasibility-style NO-OBJ
+   models. The depth-first diving engine repairs one live tableau with the
+   bounded dual simplex — far cheaper per node, but its repaired vertices
+   tend to stay fractional here; it is kept as a measured alternative
+   (see the ABLATION-ENGINE bench section). *)
+type engine = Dfs | Best_first
+
+let bb_solve engine =
+  match engine with
+  | Dfs -> fun ?time_limit_s ?node_limit ?incumbent p ->
+      Milp.Dfs_solver.solve ?time_limit_s ?node_limit ?incumbent p
+  | Best_first -> fun ?time_limit_s ?node_limit ?incumbent p ->
+      Milp.Branch_bound.solve ?time_limit_s ?node_limit ?incumbent p
+
+(* (pattern, class) blocks whose projected transfers break contiguity. *)
+let find_violations inst (sol : Solution.t) =
+  let app = inst.Formulation.app in
+  let alloc = Solution.allocation sol in
+  let violations = ref [] in
+  List.iter
+    (fun (pat : Groups.pattern) ->
+      let time = List.hd pat.Groups.occurrences in
+      let plan = Solution.plan_at app inst.Formulation.groups sol time in
+      List.iter
+        (fun transfer ->
+          match transfer with
+          | [] -> ()
+          | c :: _ ->
+            let src_l = Allocation.layout alloc (Comm.src_memory app c) in
+            let dst_l = Allocation.layout alloc (Comm.dst_memory app c) in
+            let labels = Allocation.transfer_labels transfer in
+            if not (Layout.transferable ~src:src_l ~dst:dst_l labels) then
+              violations := (pat, Comm.cls app c) :: !violations)
+        plan)
+    (Groups.patterns inst.Formulation.groups);
+  !violations
+
+let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
+    ?(node_limit = 200_000) ?(max_rounds = 50) ?(engine = Best_first) ?warm
+    objective app groups ~gamma =
+  let t0 = Unix.gettimeofday () in
+  let inst = Formulation.make ~options objective app groups ~gamma in
+  Log.info (fun f -> f "built %s model: %s"
+               (Formulation.objective_name objective)
+               (Formulation.stats_string inst));
+  (* The warm start is re-encoded at every round: lazy Constraint-6
+     generation appends variables (the LG conjunctions), so a vector from
+     an earlier round would no longer match the problem. *)
+  let encode_warm () =
+    match warm with
+    | None -> None
+    | Some sol ->
+      (match Formulation.encode inst sol with
+       | Some x ->
+         (match Milp.Problem.check_solution inst.Formulation.problem x with
+          | [] -> Some x
+          | violated ->
+            Log.debug (fun f ->
+                f "warm start rejected (%d violations, e.g. %s)"
+                  (List.length violated)
+                  (match violated with v :: _ -> v | [] -> "-"));
+            None)
+       | None -> None)
+  in
+  let c6_total = ref 0 in
+  let nodes_total = ref 0 in
+  let rec loop round =
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let remaining = time_limit_s -. elapsed in
+    if remaining <= 0.5 || round > max_rounds then
+      (None, Milp.Branch_bound.Unknown, None, round - 1)
+    else begin
+      let bb =
+        bb_solve engine ~time_limit_s:remaining ~node_limit
+          ?incumbent:(encode_warm ()) inst.Formulation.problem
+      in
+      nodes_total := !nodes_total + bb.Milp.Branch_bound.stats.Milp.Branch_bound.nodes;
+      match bb.Milp.Branch_bound.x with
+      | None -> (None, bb.Milp.Branch_bound.status, bb.Milp.Branch_bound.stats.Milp.Branch_bound.gap, round)
+      | Some x ->
+        let sol = Formulation.decode inst x in
+        (match find_violations inst sol with
+         | [] ->
+           (Some sol, bb.Milp.Branch_bound.status, bb.Milp.Branch_bound.stats.Milp.Branch_bound.gap, round)
+         | violations ->
+           let added =
+             List.fold_left
+               (fun acc (pat, cls) ->
+                 acc + Formulation.add_c6_for inst pat cls)
+               0 violations
+           in
+           c6_total := !c6_total + added;
+           Log.info (fun f ->
+               f "round %d: %d contiguity violations, %d Constraint-6 rows added"
+                 round (List.length violations) added);
+           if added = 0 then
+             (* the violated blocks were already generated: the solution
+                should not have been violated; treat as failure *)
+             (None, Milp.Branch_bound.Unknown, None, round)
+           else loop (round + 1))
+    end
+  in
+  let solution, status, gap, rounds = loop 1 in
+  (* final validation of accepted solutions *)
+  (match solution with
+   | Some sol ->
+     (match Solution.validate app groups sol with
+      | Ok () -> ()
+      | Error e ->
+        if inst.Formulation.options.Formulation.strict_property3 then
+          Log.err (fun f -> f "solution failed validation: %s" e)
+        else
+          Log.warn (fun f ->
+              f "solution fails strict validation (paper-mode Constraint 10): %s" e))
+   | None -> ());
+  {
+    solution;
+    stats =
+      {
+        rounds;
+        c6_constraints = !c6_total;
+        nodes = !nodes_total;
+        time_s = Unix.gettimeofday () -. t0;
+        status;
+        gap;
+        milp_vars = Milp.Problem.num_vars inst.Formulation.problem;
+        milp_constraints = Milp.Problem.num_constrs inst.Formulation.problem;
+      };
+    instance = inst;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "status=%s time=%.2fs rounds=%d nodes=%d c6=%d model=%dx%d%a"
+    (match s.status with
+     | Milp.Branch_bound.Optimal -> "optimal"
+     | Milp.Branch_bound.Feasible -> "feasible(limit)"
+     | Milp.Branch_bound.Infeasible -> "infeasible"
+     | Milp.Branch_bound.Unbounded -> "unbounded"
+     | Milp.Branch_bound.Unknown -> "unknown")
+    s.time_s s.rounds s.nodes s.c6_constraints s.milp_vars s.milp_constraints
+    Fmt.(option (fun ppf g -> pf ppf " gap=%.1f%%" (100.0 *. g)))
+    s.gap

@@ -1,0 +1,1 @@
+lib/mem_layout/mem_layout.ml: Allocation Layout

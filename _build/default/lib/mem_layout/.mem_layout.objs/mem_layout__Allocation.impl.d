@@ -1,0 +1,1 @@
+lib/mem_layout/allocation.ml: App Comm Fmt Int Layout Let_sem List Map Platform Properties Rt_model

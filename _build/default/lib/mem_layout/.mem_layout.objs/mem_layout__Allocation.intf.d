@@ -1,0 +1,1 @@
+lib/mem_layout/allocation.mli: App Comm Format Layout Let_sem Platform Properties Rt_model

@@ -1,0 +1,1 @@
+lib/mem_layout/layout.ml: App Array Fmt Hashtbl Int Label List Platform Rt_model

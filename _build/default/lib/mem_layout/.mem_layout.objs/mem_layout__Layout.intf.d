@@ -1,0 +1,1 @@
+lib/mem_layout/layout.mli: App Format Platform Rt_model

@@ -1,0 +1,82 @@
+open Rt_model
+open Let_sem
+
+(* A complete memory allocation: one layout per memory that holds labels. *)
+
+module Mmap = Map.Make (struct
+  type t = Platform.memory
+
+  let compare = Platform.compare_memory
+end)
+
+type t = Layout.t Mmap.t
+
+let make app orders =
+  List.fold_left
+    (fun acc (memory, order) -> Mmap.add memory (Layout.of_order app memory order) acc)
+    Mmap.empty orders
+
+(* Every memory that should hold labels, laid out in label-id order: the
+   naive baseline allocation. *)
+let identity app =
+  let orders =
+    List.filter_map
+      (fun m ->
+        match Layout.expected_labels app m with
+        | [] -> None
+        | labels -> Some (m, List.sort Int.compare labels))
+      (Platform.memories (App.platform app))
+  in
+  make app orders
+
+let layout t memory =
+  match Mmap.find_opt memory t with
+  | Some l -> l
+  | None ->
+    invalid_arg
+      (Fmt.str "Allocation.layout: no layout for %a" Platform.pp_memory memory)
+
+let layout_opt t memory = Mmap.find_opt memory t
+
+let memories t = Mmap.bindings t |> List.map fst
+
+let transfer_labels g = List.map (fun c -> c.Comm.label) g
+
+(* Check that every transfer of a plan is executable under this
+   allocation: its labels must be contiguous, in the same order, in both
+   the source and the destination memory. *)
+let plan_feasible app t (plan : Properties.plan) =
+  let rec go i = function
+    | [] -> Ok ()
+    | [] :: rest -> go (i + 1) rest
+    | (c :: _ as g) :: rest ->
+      let src = layout t (Comm.src_memory app c) in
+      let dst = layout t (Comm.dst_memory app c) in
+      let labels = transfer_labels g in
+      if Layout.transferable ~src ~dst labels then go (i + 1) rest
+      else
+        Error
+          (Fmt.str "transfer %d: labels [%a] are not contiguous/same-order in %a and %a"
+             i
+             Fmt.(list ~sep:(any ";") int)
+             labels Platform.pp_memory (Layout.memory src) Platform.pp_memory
+             (Layout.memory dst))
+  in
+  go 0 plan
+
+(* Source and destination start addresses of a transfer (the a_{g,s} and
+   a_{g,d} of the paper's transfer tuples). *)
+let transfer_addresses app t g =
+  match g with
+  | [] -> invalid_arg "Allocation.transfer_addresses: empty transfer"
+  | c :: _ ->
+    let src = layout t (Comm.src_memory app c) in
+    let dst = layout t (Comm.dst_memory app c) in
+    let labels = Layout.sort_by_position src (transfer_labels g) in
+    let bottom = List.hd labels in
+    (Layout.address src bottom, Layout.address dst bottom)
+
+let pp app ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(list ~sep:cut (fun ppf (_, l) -> Layout.pp app ppf l))
+    (Mmap.bindings t)

@@ -1,0 +1,35 @@
+(** A complete memory allocation: one {!Layout} per memory.
+
+    Used to validate and execute DMA transfer plans: a plan is feasible
+    under an allocation iff every transfer's labels are contiguous and
+    identically ordered in both of its memories. *)
+
+open Rt_model
+open Let_sem
+
+type t
+
+(** [make app orders] builds layouts from explicit per-memory orders. *)
+val make : App.t -> (Platform.memory * int list) list -> t
+
+(** Label-id-ordered layouts for every populated memory (the naive
+    allocation used as a starting point and in tests). *)
+val identity : App.t -> t
+
+(** Raises [Invalid_argument] if the memory has no layout. *)
+val layout : t -> Platform.memory -> Layout.t
+
+val layout_opt : t -> Platform.memory -> Layout.t option
+val memories : t -> Platform.memory list
+
+(** The label ids moved by one transfer. *)
+val transfer_labels : Comm.t list -> int list
+
+(** First failing transfer, or [Ok] when the whole plan is executable. *)
+val plan_feasible : App.t -> t -> Properties.plan -> (unit, string) result
+
+(** [(a_{g,s}, a_{g,d})]: source and destination start addresses of a
+    transfer. Raises on empty transfers. *)
+val transfer_addresses : App.t -> t -> Comm.t list -> int * int
+
+val pp : App.t -> Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+open Rt_model
+
+(* A memory layout: the bottom-to-top order of the labels mapped in one
+   memory. Labels are packed back-to-back, so position-contiguity equals
+   byte-contiguity, which is what a DMA transfer requires. *)
+
+type t = {
+  memory : Platform.memory;
+  order : int array; (* label ids, bottom to top *)
+  position : (int, int) Hashtbl.t; (* label id -> index in [order] *)
+  address : (int, int) Hashtbl.t; (* label id -> byte offset *)
+  total_bytes : int;
+}
+
+(* The label ids that the paper's mapping rules place in [memory]: global
+   memory holds every inter-core label; the scratchpad of core k holds the
+   copies of the inter-core labels written or read by tasks of core k. *)
+let expected_labels app (memory : Platform.memory) =
+  let inter = App.inter_core_labels app in
+  match memory with
+  | Platform.Global -> List.map (fun (l : Label.t) -> l.Label.id) inter
+  | Platform.Local k ->
+    List.filter_map
+      (fun (l : Label.t) ->
+        let involved =
+          App.core_of app l.Label.writer = k
+          || List.exists (fun r -> App.core_of app r = k)
+               (App.inter_core_readers app l)
+        in
+        if involved then Some l.Label.id else None)
+      inter
+
+let of_order app memory order =
+  let expected = List.sort_uniq Int.compare (expected_labels app memory) in
+  let given = List.sort_uniq Int.compare order in
+  if expected <> given then
+    invalid_arg
+      (Fmt.str "Layout.of_order: %a must contain exactly labels [%a], got [%a]"
+         Platform.pp_memory memory
+         Fmt.(list ~sep:(any ";") int)
+         expected
+         Fmt.(list ~sep:(any ";") int)
+         given);
+  let order = Array.of_list order in
+  let position = Hashtbl.create 16 and address = Hashtbl.create 16 in
+  let total =
+    Array.to_list order
+    |> List.fold_left
+         (fun (offset, idx) l ->
+           Hashtbl.replace position l idx;
+           Hashtbl.replace address l offset;
+           (offset + (App.label app l).Label.size, idx + 1))
+         (0, 0)
+    |> fst
+  in
+  { memory; order; position; address; total_bytes = total }
+
+let memory t = t.memory
+let order t = Array.to_list t.order
+let num_labels t = Array.length t.order
+let total_bytes t = t.total_bytes
+
+let mem_label t l = Hashtbl.mem t.position l
+
+let position t l =
+  match Hashtbl.find_opt t.position l with
+  | Some p -> p
+  | None -> invalid_arg (Fmt.str "Layout.position: label %d not in this memory" l)
+
+let address t l =
+  match Hashtbl.find_opt t.address l with
+  | Some a -> a
+  | None -> invalid_arg (Fmt.str "Layout.address: label %d not in this memory" l)
+
+(* AD_{k,a,b} of the paper: label [b] sits immediately below label [a]. *)
+let adjacent_below t ~a ~b =
+  mem_label t a && mem_label t b && position t b + 1 = position t a
+
+(* A label set occupies consecutive positions (hence consecutive bytes). *)
+let contiguous t labels =
+  match labels with
+  | [] -> true
+  | _ ->
+    let ps = List.map (position t) labels in
+    let lo = List.fold_left min (List.hd ps) ps in
+    let hi = List.fold_left max (List.hd ps) ps in
+    hi - lo + 1 = List.length (List.sort_uniq Int.compare ps)
+
+(* Labels of the set sorted bottom-to-top in this memory. *)
+let sort_by_position t labels =
+  List.sort (fun a b -> Int.compare (position t a) (position t b)) labels
+
+(* A DMA transfer requires the label set to be contiguous in BOTH the
+   source and destination memory, with the same bottom-to-top order. *)
+let transferable ~src ~dst labels =
+  contiguous src labels && contiguous dst labels
+  && sort_by_position src labels = sort_by_position dst labels
+
+let pp app ppf t =
+  Fmt.pf ppf "@[<v>%a (%d labels, %d bytes):@,%a@]" Platform.pp_memory t.memory
+    (num_labels t) t.total_bytes
+    Fmt.(
+      list ~sep:cut (fun ppf l ->
+          let lbl = App.label app l in
+          pf ppf "  0x%04x %s (%dB)" (address t l) lbl.Label.name
+            lbl.Label.size))
+    (order t)

@@ -1,0 +1,45 @@
+(** Memory layouts: the bottom-to-top placement of labels in one memory.
+
+    Labels are packed back-to-back (no padding), so position-contiguity is
+    byte-contiguity — precisely the requirement for grouping several
+    labels into one DMA transfer (Section V.A). *)
+
+open Rt_model
+
+type t
+
+(** The label ids the paper's mapping rules place in the given memory:
+    every inter-core label for [Global]; the local copies touched by core
+    [k]'s tasks for [Local k]. *)
+val expected_labels : App.t -> Platform.memory -> int list
+
+(** [of_order app memory order] builds the layout placing [order]'s labels
+    bottom to top. Raises [Invalid_argument] unless [order] contains
+    exactly {!expected_labels}. *)
+val of_order : App.t -> Platform.memory -> int list -> t
+
+val memory : t -> Platform.memory
+val order : t -> int list
+val num_labels : t -> int
+val total_bytes : t -> int
+val mem_label : t -> int -> bool
+
+(** Position in the bottom-to-top order; raises on foreign labels. *)
+val position : t -> int -> int
+
+(** Byte offset of the label; raises on foreign labels. *)
+val address : t -> int -> int
+
+(** The paper's adjacency AD: [b] sits immediately below [a]. *)
+val adjacent_below : t -> a:int -> b:int -> bool
+
+(** The set occupies consecutive positions. *)
+val contiguous : t -> int list -> bool
+
+val sort_by_position : t -> int list -> int list
+
+(** The set is contiguous in both memories with the same order — the
+    condition for moving it in a single DMA transfer. *)
+val transferable : src:t -> dst:t -> int list -> bool
+
+val pp : App.t -> Format.formatter -> t -> unit

@@ -1,0 +1,6 @@
+(** Memory layouts and allocations for DMA-grouped LET communications:
+    label placement, adjacency (the paper's AD variables), contiguity and
+    same-order checks, and transfer feasibility under an allocation. *)
+
+module Layout = Layout
+module Allocation = Allocation

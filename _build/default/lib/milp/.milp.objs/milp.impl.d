@@ -1,0 +1,1 @@
+lib/milp/milp.ml: Branch_bound Dfs_solver Linexpr Lp_file Presolve Problem Simplex Simplex_core Vec

@@ -1,0 +1,1 @@
+lib/milp/branch_bound.ml: Array Float Linexpr List Logs Option Problem Simplex Unix

@@ -1,0 +1,1 @@
+lib/milp/dfs_solver.ml: Array Branch_bound Float Fmt Linexpr List Logs Option Problem Simplex_core Unix

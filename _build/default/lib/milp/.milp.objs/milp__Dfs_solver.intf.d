@@ -1,0 +1,1 @@
+lib/milp/dfs_solver.mli: Branch_bound Problem

@@ -1,0 +1,1 @@
+lib/milp/linexpr.ml: Array Float Fmt Int List Map Printf

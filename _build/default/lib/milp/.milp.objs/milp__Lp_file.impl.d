@@ -1,0 +1,1 @@
+lib/milp/lp_file.ml: Buffer Fmt Hashtbl Linexpr List Problem Result String

@@ -1,0 +1,1 @@
+lib/milp/problem.ml: Array Buffer Float Fmt Linexpr List Printf Vec

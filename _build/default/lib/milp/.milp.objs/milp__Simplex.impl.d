@@ -1,0 +1,1 @@
+lib/milp/simplex.ml: Problem Simplex_core

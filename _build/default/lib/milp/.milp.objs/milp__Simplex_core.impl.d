@@ -1,0 +1,1 @@
+lib/milp/simplex_core.ml: Array Float Linexpr List Logs Problem Unix

@@ -1,0 +1,309 @@
+(* Best-first branch-and-bound for mixed-integer linear programs, on top of
+   the LP relaxation solver in {!Simplex}.
+
+   Nodes store only their bound overrides relative to the root, so memory
+   stays proportional to tree depth times the frontier size. A
+   most-fractional branching rule is used, with a rounding heuristic tried
+   at every node to obtain incumbents early. *)
+
+let src = Logs.Src.create "milp.bb" ~doc:"MILP branch and bound"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type status = Optimal | Feasible | Infeasible | Unbounded | Unknown
+
+type stats = {
+  nodes : int;
+  simplex_solves : int;
+  time_s : float;
+  best_bound : float;  (** proven bound on the optimum (minimization sense) *)
+  gap : float option;  (** relative gap between incumbent and bound *)
+}
+
+type solution = {
+  status : status;
+  obj : float option;
+  x : float array option;
+  stats : stats;
+}
+
+type node = {
+  overrides : (int * float * float) list; (* (var, lo, hi) from root *)
+  depth : int;
+}
+
+(* Minimal binary min-heap on (priority, tie, payload). *)
+module Heap = struct
+  type 'a t = {
+    mutable data : (float * int * 'a) array;
+    mutable len : int;
+  }
+
+  let create () = { data = [||]; len = 0 }
+  let is_empty h = h.len = 0
+
+  let less (p1, t1, _) (p2, t2, _) = p1 < p2 || (p1 = p2 && t1 > t2)
+
+  let push h prio tie x =
+    if h.len = Array.length h.data then begin
+      let cap = max 16 (2 * h.len) in
+      let data = Array.make cap (prio, tie, x) in
+      Array.blit h.data 0 data 0 h.len;
+      h.data <- data
+    end;
+    h.data.(h.len) <- (prio, tie, x);
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while
+      !i > 0
+      &&
+      let parent = (!i - 1) / 2 in
+      less h.data.(!i) h.data.(parent)
+    do
+      let parent = (!i - 1) / 2 in
+      let tmp = h.data.(!i) in
+      h.data.(!i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      i := parent
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.len <- h.len - 1;
+      if h.len > 0 then begin
+        h.data.(0) <- h.data.(h.len);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < h.len && less h.data.(l) h.data.(!smallest) then smallest := l;
+          if r < h.len && less h.data.(r) h.data.(!smallest) then smallest := r;
+          if !smallest <> !i then begin
+            let tmp = h.data.(!i) in
+            h.data.(!i) <- h.data.(!smallest);
+            h.data.(!smallest) <- tmp;
+            i := !smallest
+          end
+          else continue := false
+        done
+      end;
+      Some top
+    end
+
+  let fold f init h =
+    let acc = ref init in
+    for i = 0 to h.len - 1 do
+      acc := f !acc h.data.(i)
+    done;
+    !acc
+end
+
+
+(* Pure feasibility problems (constant objective) with a feasible warm
+   incumbent are already solved — no search needed. Shared with the DFS
+   solver. *)
+let feasibility_shortcut (p : Problem.t) incumbent =
+  let _, obj_expr = Problem.objective p in
+  match incumbent with
+  | Some x
+    when Linexpr.is_constant obj_expr
+         && Problem.check_solution ~eps:1.0e-6 p x = [] ->
+    let c = Linexpr.constant obj_expr in
+    Some
+      {
+        status = Optimal;
+        obj = Some c;
+        x = Some (Array.copy x);
+        stats =
+          {
+            nodes = 0;
+            simplex_solves = 0;
+            time_s = 0.0;
+            best_bound = c;
+            gap = Some 0.0;
+          };
+      }
+  | Some _ | None -> None
+
+let solve ?(time_limit_s = 60.0) ?(node_limit = 200_000) ?(int_eps = 1.0e-6)
+    ?incumbent ?(log_every = 0) (p : Problem.t) : solution =
+  match feasibility_shortcut p incumbent with
+  | Some early -> early
+  | None ->
+  let t0 = Unix.gettimeofday () in
+  let n = Problem.num_vars p in
+  let dir, obj_expr = Problem.objective p in
+  (* Work in minimization sense internally. *)
+  let sense = match dir with Problem.Minimize -> 1.0 | Problem.Maximize -> -1.0 in
+  let int_vars =
+    let acc = ref [] in
+    Problem.iter_vars
+      (fun j kind _ ->
+        match kind with
+        | Problem.Integer | Problem.Binary -> acc := j :: !acc
+        | Problem.Continuous -> ())
+      p;
+    Array.of_list (List.rev !acc)
+  in
+  let root_lo = Array.make n 0.0 and root_hi = Array.make n 0.0 in
+  Problem.iter_vars
+    (fun j _ (lo, hi) ->
+      root_lo.(j) <- lo;
+      root_hi.(j) <- hi)
+    p;
+  let best_obj = ref infinity (* minimization sense *) in
+  let best_x = ref None in
+  let nodes = ref 0 in
+  let simplex_solves = ref 0 in
+  let consider_incumbent x obj_orig =
+    let obj_min = sense *. obj_orig in
+    if obj_min < !best_obj -. 1.0e-9 then begin
+      best_obj := obj_min;
+      best_x := Some (Array.copy x);
+      Log.info (fun f -> f "new incumbent: obj=%g (node %d)" obj_orig !nodes)
+    end
+  in
+  (match incumbent with
+   | Some x ->
+     if Problem.check_solution ~eps:1.0e-6 p x = [] then
+       consider_incumbent x (Linexpr.eval obj_expr x)
+     else Log.warn (fun f -> f "warm incumbent rejected: infeasible")
+   | None -> ());
+  let heap = Heap.create () in
+  let tie = ref 0 in
+  Heap.push heap neg_infinity 0 { overrides = []; depth = 0 };
+  let hit_limit = ref false in
+  let root_infeasible = ref false in
+  let root_unbounded = ref false in
+  let lo = Array.make n 0.0 and hi = Array.make n 0.0 in
+  let rounded = Array.make n 0.0 in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop heap with
+    | None -> continue := false
+    | Some (prio, _, node) ->
+      if prio >= !best_obj -. 1.0e-9 then
+        (* bound-based prune; the heap is ordered so everything else is
+           prunable too *)
+        continue := false
+      else if
+        !nodes >= node_limit || Unix.gettimeofday () -. t0 > time_limit_s
+      then begin
+        hit_limit := true;
+        continue := false
+      end
+      else begin
+        incr nodes;
+        if log_every > 0 && !nodes mod log_every = 0 then
+          Log.info (fun f ->
+              f "node %d: bound=%g incumbent=%s open=%d" !nodes prio
+                (if !best_obj = infinity then "-" else string_of_float (sense *. !best_obj))
+                (Heap.fold (fun a _ -> a + 1) 0 heap));
+        Array.blit root_lo 0 lo 0 n;
+        Array.blit root_hi 0 hi 0 n;
+        List.iter
+          (fun (j, l, h) ->
+            lo.(j) <- Float.max lo.(j) l;
+            hi.(j) <- Float.min hi.(j) h)
+          node.overrides;
+        incr simplex_solves;
+        (match Simplex.solve ~deadline:(t0 +. time_limit_s) ~bounds:(lo, hi) p with
+         | Simplex.Infeasible ->
+           if node.depth = 0 then root_infeasible := true
+         | Simplex.Unbounded ->
+           if node.depth = 0 then begin
+             root_unbounded := true;
+             continue := false
+           end
+         | Simplex.Iteration_limit ->
+           (* treat as unexplored: drop the node but flag the limit *)
+           hit_limit := true
+         | Simplex.Optimal { obj; x } ->
+           let bound_min = sense *. obj in
+           if bound_min < !best_obj -. 1.0e-9 then begin
+             (* rounding heuristic *)
+             Array.blit x 0 rounded 0 n;
+             Array.iter
+               (fun j -> rounded.(j) <- Float.round rounded.(j))
+               int_vars;
+             if Problem.check_solution ~eps:1.0e-6 p rounded = [] then
+               consider_incumbent rounded (Linexpr.eval obj_expr rounded);
+             (* branching variable: most fractional *)
+             let branch_var = ref (-1) in
+             let best_frac = ref int_eps in
+             Array.iter
+               (fun j ->
+                 let v = x.(j) in
+                 let frac = Float.abs (v -. Float.round v) in
+                 if frac > !best_frac then begin
+                   best_frac := frac;
+                   branch_var := j
+                 end)
+               int_vars;
+             if !branch_var < 0 then
+               (* integral LP optimum *)
+               consider_incumbent x obj
+             else if bound_min < !best_obj -. 1.0e-9 then begin
+               let j = !branch_var in
+               let v = x.(j) in
+               let fl = Float.of_int (int_of_float (Float.floor v)) in
+               incr tie;
+               Heap.push heap bound_min !tie
+                 {
+                   overrides = (j, neg_infinity, fl) :: node.overrides;
+                   depth = node.depth + 1;
+                 };
+               incr tie;
+               Heap.push heap bound_min !tie
+                 {
+                   overrides = (j, fl +. 1.0, infinity) :: node.overrides;
+                   depth = node.depth + 1;
+                 }
+             end
+           end)
+      end
+  done;
+  let time_s = Unix.gettimeofday () -. t0 in
+  let open_bound =
+    Heap.fold (fun acc (prio, _, _) -> Float.min acc prio) infinity heap
+  in
+  let best_bound_min =
+    if !root_unbounded then neg_infinity
+    else if Heap.is_empty heap then Float.min !best_obj open_bound
+    else Float.min open_bound !best_obj
+  in
+  let has_incumbent = !best_x <> None in
+  let status =
+    if !root_unbounded then Unbounded
+    else if !root_infeasible && not has_incumbent then Infeasible
+    else if has_incumbent && (not !hit_limit) then Optimal
+    else if has_incumbent then Feasible
+    else if !hit_limit then Unknown
+    else Infeasible
+  in
+  let obj = Option.map (fun _ -> sense *. !best_obj) !best_x in
+  let gap =
+    match obj with
+    | Some _ when status = Optimal -> Some 0.0
+    | Some _ ->
+      let inc = !best_obj and bnd = best_bound_min in
+      if bnd = neg_infinity then None
+      else Some (Float.abs (inc -. bnd) /. Float.max 1.0 (Float.abs inc))
+    | None -> None
+  in
+  {
+    status;
+    obj;
+    x = !best_x;
+    stats =
+      {
+        nodes = !nodes;
+        simplex_solves = !simplex_solves;
+        time_s;
+        best_bound = sense *. best_bound_min;
+        gap;
+      };
+  }

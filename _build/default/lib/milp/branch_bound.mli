@@ -1,0 +1,51 @@
+(** Best-first branch-and-bound MILP solver on top of {!Simplex}.
+
+    This is the substrate standing in for IBM CPLEX, which the paper uses
+    to solve its formulation (see DESIGN.md, substitution 1). It supports
+    warm incumbents, node/time limits with incumbent reporting (the
+    behaviour the paper relies on for its OBJ-DMAT timeout results), and
+    reports proof bounds and relative gaps. *)
+
+type status =
+  | Optimal     (** incumbent proven optimal *)
+  | Feasible    (** limit hit with an incumbent (paper's timeout case) *)
+  | Infeasible
+  | Unbounded
+  | Unknown     (** limit hit before any incumbent was found *)
+
+type stats = {
+  nodes : int;
+  simplex_solves : int;
+  time_s : float;
+  best_bound : float;  (** proven bound on the optimum, in the problem's own sense *)
+  gap : float option;  (** relative incumbent/bound gap; [Some 0.] when optimal *)
+}
+
+type solution = {
+  status : status;
+  obj : float option;
+  x : float array option;
+  stats : stats;
+}
+
+(** Pure feasibility problems (constant objective) with a feasible
+    incumbent need no search: returns the incumbent as [Optimal].
+    Shared with {!Dfs_solver}. *)
+val feasibility_shortcut : Problem.t -> float array option -> solution option
+
+(** [solve ?time_limit_s ?node_limit ?int_eps ?incumbent ?log_every p]
+    solves the MILP [p].
+
+    - [time_limit_s] (default 60): wall-clock limit; on expiry the best
+      incumbent is returned with status [Feasible].
+    - [incumbent]: a feasible assignment used as the initial cutoff.
+    - [int_eps] (default 1e-6): integrality tolerance.
+    - [log_every]: if positive, log progress every that many nodes. *)
+val solve :
+  ?time_limit_s:float ->
+  ?node_limit:int ->
+  ?int_eps:float ->
+  ?incumbent:float array ->
+  ?log_every:int ->
+  Problem.t ->
+  solution

@@ -1,0 +1,330 @@
+(* Depth-first branch-and-bound with a single live tableau.
+
+   Instead of re-solving every node's LP from scratch (as the reference
+   {!Branch_bound} does), the solver keeps one {!Simplex_core} state: a
+   branch tightens one variable's bounds in place and the bounded dual
+   simplex repairs optimality in a handful of pivots — the warm-start
+   discipline of production MILP solvers. Backtracking restores the
+   bounds and repairs again. On numerical trouble the tableau is rebuilt
+   from scratch under the current bounds.
+
+   Results are interchangeable with {!Branch_bound} (tested against it);
+   the DFS typically explores orders of magnitude more nodes per second,
+   at the price of a weaker proven bound when the time limit strikes. *)
+
+let src = Logs.Src.create "milp.dfs" ~doc:"MILP depth-first diving solver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+exception Limit_reached
+
+type state = {
+  p : Problem.t;
+  mutable tb : Simplex_core.t;
+  sense : float; (* +1 minimize, -1 maximize *)
+  obj_expr : Linexpr.t;
+  int_vars : int array;
+  cur_lo : float array;
+  cur_hi : float array;
+  deadline : float;
+  node_limit : int;
+  int_eps : float;
+  mutable nodes : int;
+  mutable rebuilds : int;
+  mutable best_obj : float; (* minimization sense *)
+  mutable best_x : float array option;
+  mutable exhausted : bool; (* completed without hitting any limit *)
+}
+
+let lp_iter_budget = 200_000
+
+(* Rebuild the tableau from scratch under the current bounds (fallback on
+   numerical trouble). Returns false when the node is infeasible. *)
+let rebuild st =
+  st.rebuilds <- st.rebuilds + 1;
+  match Simplex_core.build ~bounds:(st.cur_lo, st.cur_hi) st.p with
+  | None -> false
+  | Some tb ->
+    (match Simplex_core.phase1 tb ~max_iters:lp_iter_budget ~deadline:st.deadline with
+     | `Infeasible -> false
+     | `Limit -> raise Limit_reached
+     | `Feasible ->
+       Simplex_core.install_objective tb;
+       (match Simplex_core.phase2 tb ~max_iters:lp_iter_budget ~deadline:st.deadline with
+        | `Optimal ->
+          st.tb <- tb;
+          true
+        | `Unbounded ->
+          (* bounded integers + incumbent pruning make this pathological;
+             treat as node to skip *)
+          false
+        | `Iteration_limit -> raise Limit_reached))
+
+let consider_incumbent st x =
+  match Problem.check_solution ~eps:1.0e-6 st.p x with
+  | [] ->
+    let obj = st.sense *. Linexpr.eval st.obj_expr x in
+    if obj < st.best_obj -. 1.0e-9 then begin
+      st.best_obj <- obj;
+      st.best_x <- Some (Array.copy x);
+      Log.info (fun f ->
+          f "dfs: new incumbent obj=%g at node %d" (st.sense *. obj) st.nodes)
+    end;
+    true
+  | violated ->
+    Log.debug (fun f ->
+        f "dfs: candidate rejected (%d violations, first: %s)"
+          (List.length violated)
+          (match violated with v :: _ -> v | [] -> "-"));
+    false
+
+(* Apply new bounds for [var] and restore LP optimality; false = the
+   subproblem is infeasible. *)
+let move_bounds st var ~lo ~hi =
+  if lo > hi +. 1.0e-12 then false
+  else begin
+    st.cur_lo.(var) <- lo;
+    st.cur_hi.(var) <- hi;
+    match Simplex_core.set_var_bounds st.tb var ~lo ~hi with
+    | () ->
+      (match
+         Simplex_core.dual_restore st.tb ~max_iters:2_500 ~deadline:st.deadline
+       with
+       | `Feasible -> true
+       | `Infeasible ->
+         (* numerical drift in a long dive chain can fabricate
+            infeasibility, and a false prune loses optimality: confirm
+            with a fresh factorization (exact) before pruning *)
+         rebuild st
+       | `Limit ->
+         if Unix.gettimeofday () > st.deadline then raise Limit_reached
+         else begin
+           Log.debug (fun f -> f "dfs: dual repair stalled; rebuilding");
+           rebuild st
+         end)
+    | exception Invalid_argument _ ->
+      (* the variable was bound-fixed when the tableau was last rebuilt and
+         its column eliminated; rebuild under the new bounds *)
+      rebuild st
+  end
+
+(* The current LP is optimal; explore the subtree. [fresh] guards the
+   drift-recovery rebuild against recursing forever. *)
+let rec explore ?(fresh = false) st =
+  st.nodes <- st.nodes + 1;
+  if st.nodes > st.node_limit || Unix.gettimeofday () > st.deadline then
+    raise Limit_reached;
+  let obj_min = st.sense *. Simplex_core.objective_value st.tb in
+  if obj_min < st.best_obj -. 1.0e-9 then begin
+    let x = Simplex_core.solution st.tb in
+    (* rounding heuristic *)
+    let rounded = Array.copy x in
+    Array.iter (fun j -> rounded.(j) <- Float.round rounded.(j)) st.int_vars;
+    ignore (consider_incumbent st rounded);
+    (* most fractional variable *)
+    let branch_var = ref (-1) in
+    let best_frac = ref st.int_eps in
+    Array.iter
+      (fun j ->
+        let frac = Float.abs (x.(j) -. Float.round x.(j)) in
+        if frac > !best_frac then begin
+          best_frac := frac;
+          branch_var := j
+        end)
+      st.int_vars;
+    if !branch_var < 0 then begin
+      (* an integral LP vertex that fails the exact feasibility re-check
+         means the incrementally-maintained basics have drifted: rebuild
+         the tableau under the current (mostly fixed, hence cheap) bounds
+         and examine the fresh optimum once *)
+      if (not (consider_incumbent st x)) && not fresh then begin
+        st.nodes <- st.nodes - 1;
+        if rebuild st then explore ~fresh:true st
+      end
+    end
+    else begin
+      let j = !branch_var in
+      let v = x.(j) in
+      let fl = Float.of_int (int_of_float (Float.floor v)) in
+      let saved_lo = st.cur_lo.(j) and saved_hi = st.cur_hi.(j) in
+      let down () = (saved_lo, fl) in
+      let up () = (fl +. 1.0, saved_hi) in
+      (* dive up unless the value is clearly near its floor: on the
+         set-partitioning structure of assignment models (sum of binaries
+         = 1), fixing variables to 1 is what completes feasible leaves *)
+      let first, second =
+        if v -. fl <= 0.2 then (down, up) else (up, down)
+      in
+      let visit side =
+        let lo, hi = side () in
+        (* prune by bound before paying the dual repair? the repair is the
+           bound computation, so just do it *)
+        if move_bounds st j ~lo ~hi then explore st
+      in
+      let restore () =
+        if not (move_bounds st j ~lo:saved_lo ~hi:saved_hi) then
+          (* restoring a relaxation cannot be infeasible: rebuild *)
+          if not (rebuild st) then
+            (* still infeasible: numerical dead end for this subtree *)
+            raise Limit_reached
+      in
+      visit first;
+      restore ();
+      (* after restoring, the parent relaxation bound prunes the sibling
+         only if it is itself dominated — explore checks again anyway *)
+      visit second;
+      restore ()
+    end
+  end
+
+let fallback_reason p =
+  let bad = ref None in
+  Problem.iter_vars
+    (fun j kind (lo, hi) ->
+      match kind with
+      | Problem.Integer | Problem.Binary ->
+        if lo = neg_infinity || hi = infinity then
+          bad := Some (Fmt.str "integer variable %s unbounded" (Problem.var_name p j))
+      | Problem.Continuous -> ())
+    p;
+  !bad
+
+let solve ?(time_limit_s = 60.0) ?(node_limit = 2_000_000) ?(int_eps = 1.0e-6)
+    ?incumbent ?log_every (p : Problem.t) : Branch_bound.solution =
+  ignore log_every;
+  match Branch_bound.feasibility_shortcut p incumbent with
+  | Some early -> early
+  | None ->
+  match fallback_reason p with
+  | Some reason ->
+    Log.warn (fun f -> f "dfs: falling back to best-first solver (%s)" reason);
+    Branch_bound.solve ~time_limit_s ~int_eps ?incumbent p
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    let deadline = t0 +. time_limit_s in
+    let n = Problem.num_vars p in
+    let dir, obj_expr = Problem.objective p in
+    let sense = match dir with Problem.Minimize -> 1.0 | Problem.Maximize -> -1.0 in
+    let int_vars =
+      let acc = ref [] in
+      Problem.iter_vars
+        (fun j kind _ ->
+          match kind with
+          | Problem.Integer | Problem.Binary -> acc := j :: !acc
+          | Problem.Continuous -> ())
+        p;
+      Array.of_list (List.rev !acc)
+    in
+    let cur_lo = Array.make n 0.0 and cur_hi = Array.make n 0.0 in
+    Problem.iter_vars
+      (fun j _ (lo, hi) ->
+        cur_lo.(j) <- lo;
+        cur_hi.(j) <- hi)
+      p;
+    (match Simplex_core.build p with
+     | None ->
+       {
+         Branch_bound.status = Branch_bound.Infeasible;
+         obj = None;
+         x = None;
+         stats =
+           {
+             Branch_bound.nodes = 0;
+             simplex_solves = 0;
+             time_s = Unix.gettimeofday () -. t0;
+             best_bound = (if sense > 0.0 then neg_infinity else infinity);
+             gap = None;
+           };
+       }
+     | Some tb ->
+       let st =
+         {
+           p;
+           tb;
+           sense;
+           obj_expr;
+           int_vars;
+           cur_lo;
+           cur_hi;
+           deadline;
+           node_limit;
+           int_eps;
+           nodes = 0;
+           rebuilds = 0;
+           best_obj = infinity;
+           best_x = None;
+           exhausted = false;
+         }
+       in
+       (match incumbent with
+        | Some x when Array.length x = n -> ignore (consider_incumbent st x)
+        | Some _ | None -> ());
+       let root_status =
+         match Simplex_core.phase1 tb ~max_iters:lp_iter_budget ~deadline with
+         | `Infeasible -> `Root_infeasible
+         | `Limit -> `Limit
+         | `Feasible ->
+           Simplex_core.install_objective tb;
+           (match Simplex_core.phase2 tb ~max_iters:lp_iter_budget ~deadline with
+            | `Optimal -> `Ok
+            | `Unbounded -> `Root_unbounded
+            | `Iteration_limit -> `Limit)
+       in
+       let root_bound =
+         match root_status with
+         | `Ok -> sense *. Simplex_core.objective_value tb
+         | _ -> neg_infinity
+       in
+       (match root_status with
+        | `Ok ->
+          (try
+             explore st;
+             st.exhausted <- true
+           with Limit_reached -> ())
+        | `Root_infeasible | `Root_unbounded | `Limit -> ());
+       let time_s = Unix.gettimeofday () -. t0 in
+       let has_incumbent = st.best_x <> None in
+       let status =
+         match root_status with
+         | `Root_unbounded -> Branch_bound.Unbounded
+         | `Root_infeasible ->
+           if has_incumbent then Branch_bound.Optimal else Branch_bound.Infeasible
+         | `Limit ->
+           if has_incumbent then Branch_bound.Feasible else Branch_bound.Unknown
+         | `Ok ->
+           if st.exhausted then
+             if has_incumbent then Branch_bound.Optimal
+             else Branch_bound.Infeasible
+           else if has_incumbent then Branch_bound.Feasible
+           else Branch_bound.Unknown
+       in
+       let best_bound_min =
+         if status = Branch_bound.Optimal then st.best_obj else root_bound
+       in
+       let obj = Option.map (fun _ -> sense *. st.best_obj) st.best_x in
+       let gap =
+         match obj with
+         | Some _ when status = Branch_bound.Optimal -> Some 0.0
+         | Some _ ->
+           if best_bound_min = neg_infinity then None
+           else
+             Some
+               (Float.abs (st.best_obj -. best_bound_min)
+               /. Float.max 1.0 (Float.abs st.best_obj))
+         | None -> None
+       in
+       Log.info (fun f ->
+           f "dfs: %d nodes, %d rebuilds, %.2fs" st.nodes st.rebuilds time_s);
+       {
+         Branch_bound.status;
+         obj;
+         x = st.best_x;
+         stats =
+           {
+             Branch_bound.nodes = st.nodes;
+             simplex_solves = st.rebuilds + 1;
+             time_s;
+             best_bound = sense *. best_bound_min;
+             gap;
+           };
+       })

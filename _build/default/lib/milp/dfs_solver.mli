@@ -1,0 +1,21 @@
+(** Depth-first branch-and-bound MILP solver with warm-started node LPs.
+
+    One live {!Simplex_core} tableau is shared by the whole search: each
+    branch tightens a variable's bounds in place and the bounded dual
+    simplex repairs optimality (typically a handful of pivots instead of a
+    full two-phase solve), as production MILP solvers do when diving.
+
+    Results use the same types as {!Branch_bound} and the two solvers are
+    interchangeable (and tested against each other). The DFS explores far
+    more nodes per second; its proven bound on timeout is the root
+    relaxation, so reported gaps can be wider. Falls back to
+    {!Branch_bound} when a model has unbounded integer variables. *)
+
+val solve :
+  ?time_limit_s:float ->
+  ?node_limit:int ->
+  ?int_eps:float ->
+  ?incumbent:float array ->
+  ?log_every:int ->
+  Problem.t ->
+  Branch_bound.solution

@@ -1,0 +1,95 @@
+(* Sparse linear expressions over integer variable ids. *)
+
+module Imap = Map.Make (Int)
+
+type t = {
+  terms : float Imap.t;
+  const : float;
+}
+
+let zero = { terms = Imap.empty; const = 0.0 }
+
+let const c = { terms = Imap.empty; const = c }
+
+let var ?(coeff = 1.0) v =
+  if coeff = 0.0 then zero else { terms = Imap.singleton v coeff; const = 0.0 }
+
+let add_term e coeff v =
+  if coeff = 0.0 then e
+  else
+    let terms =
+      Imap.update v
+        (function
+          | None -> Some coeff
+          | Some c ->
+            let c = c +. coeff in
+            if c = 0.0 then None else Some c)
+        e.terms
+    in
+    { e with terms }
+
+let add a b =
+  let terms =
+    Imap.union
+      (fun _ ca cb ->
+        let c = ca +. cb in
+        if c = 0.0 then None else Some c)
+      a.terms b.terms
+  in
+  { terms; const = a.const +. b.const }
+
+let neg a =
+  { terms = Imap.map (fun c -> -.c) a.terms; const = -.a.const }
+
+let sub a b = add a (neg b)
+
+let scale k a =
+  if k = 0.0 then zero
+  else { terms = Imap.map (fun c -> k *. c) a.terms; const = k *. a.const }
+
+let add_const a c = { a with const = a.const +. c }
+
+let of_list ?(const = 0.0) l =
+  List.fold_left (fun acc (c, v) -> add_term acc c v) { zero with const } l
+
+let sum es = List.fold_left add zero es
+
+let terms e = Imap.bindings e.terms |> List.map (fun (v, c) -> (c, v))
+
+let constant e = e.const
+
+let is_constant e = Imap.is_empty e.terms
+
+let num_terms e = Imap.cardinal e.terms
+
+let coeff_of e v = match Imap.find_opt v e.terms with None -> 0.0 | Some c -> c
+
+let iter_terms f e = Imap.iter (fun v c -> f c v) e.terms
+
+let eval e x =
+  Imap.fold (fun v c acc -> acc +. (c *. x.(v))) e.terms e.const
+
+let map_vars f e =
+  Imap.fold (fun v c acc -> add_term acc c (f v)) e.terms { zero with const = e.const }
+
+let pp ?(var_name = fun v -> Printf.sprintf "x%d" v) ppf e =
+  let first = ref true in
+  let emit_sign c =
+    if !first then begin
+      first := false;
+      if c < 0.0 then Fmt.string ppf "- "
+    end
+    else if c < 0.0 then Fmt.string ppf " - "
+    else Fmt.string ppf " + "
+  in
+  Imap.iter
+    (fun v c ->
+      emit_sign c;
+      let a = Float.abs c in
+      if a = 1.0 then Fmt.string ppf (var_name v)
+      else Fmt.pf ppf "%g %s" a (var_name v))
+    e.terms;
+  if e.const <> 0.0 || !first then begin
+    emit_sign e.const;
+    Fmt.pf ppf "%g" (Float.abs e.const)
+  end

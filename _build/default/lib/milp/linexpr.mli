@@ -1,0 +1,43 @@
+(** Sparse linear expressions [sum c_j * x_j + const] over integer variable
+    ids. Values are immutable; all operations are purely functional. *)
+
+type t
+
+val zero : t
+
+(** [const c] is the constant expression [c]. *)
+val const : float -> t
+
+(** [var ?coeff v] is [coeff * x_v] (default coefficient 1). *)
+val var : ?coeff:float -> int -> t
+
+(** [add_term e c v] is [e + c * x_v]; terms cancelling to 0 are dropped. *)
+val add_term : t -> float -> int -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val add_const : t -> float -> t
+
+(** [of_list ?const [(c1, v1); ...]] builds [c1*x_v1 + ... + const]. *)
+val of_list : ?const:float -> (float * int) list -> t
+
+val sum : t list -> t
+
+(** Non-zero terms as [(coeff, var)] pairs in increasing variable order. *)
+val terms : t -> (float * int) list
+
+val constant : t -> float
+val is_constant : t -> bool
+val num_terms : t -> int
+val coeff_of : t -> int -> float
+val iter_terms : (float -> int -> unit) -> t -> unit
+
+(** [eval e x] evaluates [e] under the assignment [x.(v)]. *)
+val eval : t -> float array -> float
+
+(** [map_vars f e] renames every variable through [f] (merging collisions). *)
+val map_vars : (int -> int) -> t -> t
+
+val pp : ?var_name:(int -> string) -> Format.formatter -> t -> unit

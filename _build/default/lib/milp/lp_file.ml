@@ -1,0 +1,331 @@
+(* Reader for the CPLEX LP text format (the subset produced by
+   {!Problem.to_lp_string}, which covers the common hand-written cases
+   too): objective, constraints, bounds, integrality sections.
+
+   Together with the writer this gives a round-trippable external
+   representation — models can be dumped, inspected, solved by an external
+   solver for cross-checking, and read back. *)
+
+type token =
+  | Num of float
+  | Id of string
+  | Plus
+  | Minus
+  | Cmp of Problem.sense
+  | Colon
+
+let is_id_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_id_char c =
+  is_id_start c || (c >= '0' && c <= '9') || c = '.' || c = '[' || c = ']'
+  || c = '!' || c = '#' || c = '$' || c = '%'
+
+let is_num_start c = (c >= '0' && c <= '9') || c = '.'
+
+(* Tokenize one logical section body. *)
+let tokenize s =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  let error fmt = Fmt.kstr (fun m -> Error m) fmt in
+  let rec go () =
+    if !i >= n then Ok (List.rev !out)
+    else begin
+      let c = s.[!i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then begin
+        incr i;
+        go ()
+      end
+      else if c = '+' then begin
+        incr i;
+        out := Plus :: !out;
+        go ()
+      end
+      else if c = '-' then begin
+        incr i;
+        out := Minus :: !out;
+        go ()
+      end
+      else if c = ':' then begin
+        incr i;
+        out := Colon :: !out;
+        go ()
+      end
+      else if c = '<' || c = '>' || c = '=' then begin
+        let sense =
+          if c = '<' then Problem.Le else if c = '>' then Problem.Ge else Problem.Eq
+        in
+        incr i;
+        if !i < n && s.[!i] = '=' then incr i;
+        out := Cmp sense :: !out;
+        go ()
+      end
+      else if is_num_start c then begin
+        let start = !i in
+        while
+          !i < n
+          && (is_num_start s.[!i] || s.[!i] = 'e' || s.[!i] = 'E'
+             || ((s.[!i] = '+' || s.[!i] = '-')
+                && !i > start
+                && (s.[!i - 1] = 'e' || s.[!i - 1] = 'E')))
+        do
+          incr i
+        done;
+        (match float_of_string_opt (String.sub s start (!i - start)) with
+         | Some v ->
+           out := Num v :: !out;
+           go ()
+         | None -> error "bad number at offset %d" start)
+      end
+      else if is_id_start c then begin
+        let start = !i in
+        while !i < n && is_id_char s.[!i] do
+          incr i
+        done;
+        out := Id (String.sub s start (!i - start)) :: !out;
+        go ()
+      end
+      else error "unexpected character %C at offset %d" c !i
+    end
+  in
+  go ()
+
+(* Parse a linear expression prefix of a token stream; returns the
+   expression (over variable names) and the remaining tokens. *)
+let parse_linexpr tokens =
+  let rec go acc sign coef = function
+    | Plus :: rest -> go acc 1.0 None rest
+    | Minus :: rest -> go acc (-1.0) None rest
+    | Num v :: rest ->
+      (match coef with
+       | None -> go acc sign (Some v) rest
+       | Some c ->
+         (* two numbers in a row: constant then something else *)
+         go ((sign *. c, None) :: acc) 1.0 (Some v) rest)
+    | Id name :: rest ->
+      let c = match coef with None -> 1.0 | Some v -> v in
+      go ((sign *. c, Some name) :: acc) 1.0 None rest
+    | rest ->
+      let acc = match coef with None -> acc | Some v -> (sign *. v, None) :: acc in
+      (List.rev acc, rest)
+  in
+  go [] 1.0 None tokens
+
+type section =
+  | S_objective of Problem.dir
+  | S_subject_to
+  | S_bounds
+  | S_generals
+  | S_binaries
+  | S_end
+
+let section_of_line line =
+  let l = String.lowercase_ascii (String.trim line) in
+  if l = "minimize" || l = "min" then Some (S_objective Problem.Minimize)
+  else if l = "maximize" || l = "max" then Some (S_objective Problem.Maximize)
+  else if l = "subject to" || l = "st" || l = "s.t." || l = "such that" then
+    Some S_subject_to
+  else if l = "bounds" then Some S_bounds
+  else if l = "generals" || l = "general" || l = "integers" then Some S_generals
+  else if l = "binaries" || l = "binary" then Some S_binaries
+  else if l = "end" then Some S_end
+  else None
+
+let of_string text =
+  let ( let* ) = Result.bind in
+  (* strip comments and split into (section, body-lines) *)
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map (fun l ->
+           match String.index_opt l '\\' with
+           | Some i -> String.sub l 0 i
+           | None -> l)
+  in
+  let sections = ref [] in
+  let current = ref None in
+  let body = Buffer.create 256 in
+  let flush () =
+    match !current with
+    | Some s ->
+      sections := (s, Buffer.contents body) :: !sections;
+      Buffer.clear body
+    | None -> ()
+  in
+  List.iter
+    (fun line ->
+      match section_of_line line with
+      | Some s ->
+        flush ();
+        current := Some s
+      | None ->
+        Buffer.add_string body line;
+        Buffer.add_char body '\n')
+    lines;
+  flush ();
+  let sections = List.rev !sections in
+  let p = Problem.create () in
+  let vars = Hashtbl.create 64 in
+  let var name =
+    match Hashtbl.find_opt vars name with
+    | Some v -> v
+    | None ->
+      let v = Problem.continuous ~name ~lo:0.0 p in
+      Hashtbl.replace vars name v;
+      v
+  in
+  let expr_of terms =
+    List.fold_left
+      (fun acc (c, name) ->
+        match name with
+        | Some n -> Linexpr.add_term acc c (var n)
+        | None -> Linexpr.add_const acc c)
+      Linexpr.zero terms
+  in
+  (* label: strip a leading "name :" if present *)
+  let strip_label tokens =
+    match tokens with
+    | Id name :: Colon :: rest -> (Some name, rest)
+    | _ -> (None, tokens)
+  in
+  let parse_objective dir body =
+    let* tokens = tokenize body in
+    let _, tokens = strip_label tokens in
+    let terms, rest = parse_linexpr tokens in
+    if rest <> [] then Error "trailing tokens in objective"
+    else begin
+      Problem.set_objective p dir (expr_of terms);
+      Ok ()
+    end
+  in
+  let parse_constraints body =
+    (* constraints separated by their relational operator; split on lines
+       first: the writer puts one constraint per line *)
+    let rec each = function
+      | [] -> Ok ()
+      | line :: rest ->
+        if String.trim line = "" then each rest
+        else begin
+          let* tokens = tokenize line in
+          let name, tokens = strip_label tokens in
+          let lhs, after = parse_linexpr tokens in
+          (match after with
+           | Cmp sense :: rhs_tokens ->
+             let rhs_terms, trailing = parse_linexpr rhs_tokens in
+             if trailing <> [] then Error "trailing tokens in constraint"
+             else begin
+               let rhs_expr = expr_of rhs_terms in
+               if Linexpr.num_terms rhs_expr <> 0 then
+                 Error "variables on the right-hand side are not supported"
+               else begin
+                 ignore
+                   (Problem.add_constr ?name p (expr_of lhs) sense
+                      (Linexpr.constant rhs_expr));
+                 Ok ()
+               end
+             end
+           | _ -> Error (Fmt.str "constraint without relation: %S" line))
+          |> fun r -> Result.bind r (fun () -> each rest)
+        end
+    in
+    each (String.split_on_char '\n' body)
+  in
+  let parse_bounds body =
+    let rec each = function
+      | [] -> Ok ()
+      | line :: rest ->
+        let line = String.trim line in
+        if line = "" then each rest
+        else begin
+          let* tokens = tokenize line in
+          let value = function
+            | Num v -> Some v
+            | Id ("inf" | "+inf" | "infinity") -> Some infinity
+            | _ -> None
+          in
+          (match tokens with
+           | [ Id x; Id "free" ] ->
+             Problem.set_bounds ~lo:neg_infinity ~hi:infinity p (var x);
+             Ok ()
+           | [ lo_t; Cmp Problem.Le; Id x; Cmp Problem.Le; hi_t ] ->
+             let lo =
+               match lo_t with
+               | Minus -> None
+               | t -> value t
+             in
+             (* allow "-inf" tokenized as Minus Id(inf) *)
+             (match (lo, tokens) with
+              | Some lo, _ ->
+                (match value hi_t with
+                 | Some hi ->
+                   Problem.set_bounds ~lo ~hi p (var x);
+                   Ok ()
+                 | None -> Error (Fmt.str "bad bound line %S" line))
+              | None, _ -> Error (Fmt.str "bad bound line %S" line))
+           | [ Minus; lo_t; Cmp Problem.Le; Id x; Cmp Problem.Le; hi_t ] ->
+             (match (value lo_t, value hi_t) with
+              | Some lo, Some hi ->
+                Problem.set_bounds ~lo:(-.lo) ~hi p (var x);
+                Ok ()
+              | _ -> Error (Fmt.str "bad bound line %S" line))
+           | [ Id x; Cmp Problem.Le; hi_t ] ->
+             (match value hi_t with
+              | Some hi ->
+                Problem.set_bounds ~hi p (var x);
+                Ok ()
+              | None -> Error (Fmt.str "bad bound line %S" line))
+           | [ Id x; Cmp Problem.Ge; lo_t ] ->
+             (match value lo_t with
+              | Some lo ->
+                Problem.set_bounds ~lo p (var x);
+                Ok ()
+              | None -> Error (Fmt.str "bad bound line %S" line))
+           | [ Id x; Cmp Problem.Ge; Minus; lo_t ] ->
+             (match value lo_t with
+              | Some lo ->
+                Problem.set_bounds ~lo:(-.lo) p (var x);
+                Ok ()
+              | None -> Error (Fmt.str "bad bound line %S" line))
+           | _ -> Error (Fmt.str "bad bound line %S" line))
+          |> fun r -> Result.bind r (fun () -> each rest)
+        end
+    in
+    each (String.split_on_char '\n' body)
+  in
+  let parse_kinds kind body =
+    let* tokens = tokenize body in
+    let rec each = function
+      | [] -> Ok ()
+      | Id name :: rest ->
+        let v = var name in
+        let lo, hi = Problem.var_bounds p v in
+        ignore (lo, hi);
+        Problem.set_kind p v kind;
+        each rest
+      | _ -> Error "expected variable names in integrality section"
+    in
+    each tokens
+  in
+  let rec run = function
+    | [] -> Ok ()
+    | (S_objective dir, body) :: rest ->
+      let* () = parse_objective dir body in
+      run rest
+    | (S_subject_to, body) :: rest ->
+      let* () = parse_constraints body in
+      run rest
+    | (S_bounds, body) :: rest ->
+      let* () = parse_bounds body in
+      run rest
+    | (S_generals, body) :: rest ->
+      let* () = parse_kinds Problem.Integer body in
+      run rest
+    | (S_binaries, body) :: rest ->
+      let* () = parse_kinds Problem.Binary body in
+      run rest
+    | (S_end, _) :: rest -> run rest
+  in
+  let* () = run sections in
+  Ok p
+
+let to_string = Problem.to_lp_string

@@ -1,0 +1,11 @@
+(** Reader/writer for the CPLEX LP text format (the subset emitted by
+    {!Problem.to_lp_string}): objective, named constraints, bounds,
+    integrality sections. Round-trips with the writer, enabling external
+    cross-checking of models. *)
+
+(** Parse an LP-format model. Variables keep the default LP-format domain
+    [0, +inf) unless the Bounds section says otherwise. *)
+val of_string : string -> (Problem.t, string) result
+
+(** Alias of {!Problem.to_lp_string}. *)
+val to_string : Problem.t -> string

@@ -1,0 +1,14 @@
+(** Presolve: activity-based bound tightening, redundant-row elimination
+    and early infeasibility detection, iterated to a fixpoint.
+
+    The reduced problem keeps every variable (same ids, possibly tighter
+    bounds) and drops provably redundant rows, so feasible solutions and
+    optima transfer verbatim between the two problems (property-tested). *)
+
+type result =
+  | Reduced of Problem.t
+  | Infeasible of string  (** name of the witnessing row *)
+
+type stats = { rounds : int; rows_dropped : int; bounds_tightened : int }
+
+val run : ?max_rounds:int -> Problem.t -> result * stats

@@ -1,0 +1,97 @@
+(** Mutable MILP model builder: variables, linear constraints, an objective,
+    plus big-M/logic helpers, validation, solution checking, and CPLEX LP
+    format export.
+
+    Variables are dense integer ids starting at 0, as produced by
+    {!add_var} and friends. *)
+
+type var_kind = Continuous | Integer | Binary
+type sense = Le | Ge | Eq
+type dir = Minimize | Maximize
+
+type constr = private {
+  c_name : string;
+  c_expr : Linexpr.t;  (** constant part folded into [c_rhs] *)
+  c_sense : sense;
+  c_rhs : float;
+}
+
+type t
+
+(** [create ?big_m ()] makes an empty model. [big_m] (default [1e6]) is the
+    default constant used by the implication helpers. *)
+val create : ?big_m:float -> unit -> t
+
+val big_m : t -> float
+val set_big_m : t -> float -> unit
+val num_vars : t -> int
+val num_constrs : t -> int
+
+(** [add_var ?name ?lo ?hi t kind] returns the new variable's id. Binary
+    variables are clamped to [0,1]. *)
+val add_var : ?name:string -> ?lo:float -> ?hi:float -> t -> var_kind -> int
+
+val binary : ?name:string -> t -> int
+val continuous : ?name:string -> ?lo:float -> ?hi:float -> t -> int
+val integer : ?name:string -> ?lo:float -> ?hi:float -> t -> int
+
+val var_name : t -> int -> string
+val var_kind : t -> int -> var_kind
+val var_bounds : t -> int -> float * float
+val set_bounds : ?lo:float -> ?hi:float -> t -> int -> unit
+
+(** Change a variable's kind after creation; [Binary] clamps its bounds
+    to [0, 1]. *)
+val set_kind : t -> int -> var_kind -> unit
+
+(** [add_constr ?name t e sense rhs] adds the constraint [e sense rhs]
+    (any constant term of [e] is moved to the right-hand side) and returns
+    its index. *)
+val add_constr : ?name:string -> t -> Linexpr.t -> sense -> float -> int
+
+val constr : t -> int -> constr
+val set_objective : t -> dir -> Linexpr.t -> unit
+val objective : t -> dir * Linexpr.t
+val iter_constrs : (constr -> unit) -> t -> unit
+val iter_vars : (int -> var_kind -> float * float -> unit) -> t -> unit
+
+(** {1 Logic helpers}
+
+    All take binary variable ids. *)
+
+(** [add_and_upper t z xs] adds [z <= x_i] for each [i] — the upper half of
+    [z = AND xs], sufficient when z only appears where 1 is advantageous. *)
+val add_and_upper : ?name:string -> t -> int -> int list -> unit
+
+(** [add_and_lower t z xs] adds [z >= sum x_i - (|xs| - 1)]. *)
+val add_and_lower : ?name:string -> t -> int -> int list -> unit
+
+(** Exact conjunction: both halves. *)
+val add_and_exact : ?name:string -> t -> int -> int list -> unit
+
+(** [add_implies_le t b e rhs] adds [b = 1 => e <= rhs] via big-M. *)
+val add_implies_le : ?name:string -> ?m:float -> t -> int -> Linexpr.t -> float -> unit
+
+(** [add_implies_ge t b e rhs] adds [b = 1 => e >= rhs] via big-M. *)
+val add_implies_ge : ?name:string -> ?m:float -> t -> int -> Linexpr.t -> float -> unit
+
+(** [add_max_lower t y es] adds [y >= e] for every [e]; exact max when the
+    objective (or other constraints) push [y] down. *)
+val add_max_lower : ?name:string -> t -> int -> Linexpr.t list -> unit
+
+(** {1 Validation and export} *)
+
+type issue =
+  | Empty_constraint of string
+  | Unbounded_integer of string
+  | Bad_bounds of string
+
+val validate : t -> issue list
+val pp_issue : Format.formatter -> issue -> unit
+
+(** CPLEX LP file format, for external cross-checking. *)
+val to_lp_string : t -> string
+
+(** [check_solution ?eps t x] returns the names of violated constraints /
+    bounds / integrality requirements (empty list = feasible). *)
+val check_solution : ?eps:float -> t -> float array -> string list

@@ -1,0 +1,27 @@
+(* One-shot LP solving on top of the persistent state in
+   {!Simplex_core}: build, Phase I, install the objective, Phase II,
+   extract. See simplex_core.ml for the tableau mechanics. *)
+
+type result =
+  | Optimal of { obj : float; x : float array }
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+let solve ?bounds ?(max_iters = 200_000) ?(deadline = infinity)
+    (p : Problem.t) : result =
+  match Simplex_core.build ?bounds p with
+  | None -> Infeasible
+  | Some tb ->
+    (match Simplex_core.phase1 tb ~max_iters ~deadline with
+     | `Infeasible -> Infeasible
+     | `Limit -> Iteration_limit
+     | `Feasible ->
+       Simplex_core.install_objective tb;
+       (match Simplex_core.phase2 tb ~max_iters ~deadline with
+        | `Unbounded -> Unbounded
+        | `Iteration_limit -> Iteration_limit
+        | `Optimal ->
+          let x = Simplex_core.solution tb in
+          let obj = Simplex_core.objective_value tb in
+          Optimal { obj; x }))

@@ -1,0 +1,28 @@
+(** Dense two-phase primal simplex for linear programs with bounded
+    variables.
+
+    Integrality requirements of the {!Problem} are ignored (this is the LP
+    relaxation solver used by {!Branch_bound}). Nonbasic variables may rest
+    at either bound, so binary-heavy models need no extra rows for their
+    upper bounds. Bland's rule is enabled automatically after a stall to
+    guarantee termination on degenerate instances. *)
+
+type result =
+  | Optimal of { obj : float; x : float array }
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+(** [solve ?bounds ?max_iters p] solves the LP relaxation of [p].
+
+    [bounds] optionally overrides every variable's bounds (two arrays of
+    length [Problem.num_vars p]) — used by branch-and-bound nodes.
+    [max_iters] caps total simplex pivots across both phases (default
+    200_000); [deadline] is an absolute [Unix.gettimeofday] instant after
+    which the solve aborts with [Iteration_limit]. *)
+val solve :
+  ?bounds:float array * float array ->
+  ?max_iters:int ->
+  ?deadline:float ->
+  Problem.t ->
+  result

@@ -1,0 +1,735 @@
+(* Persistent simplex state shared by the one-shot LP solver ({!Simplex})
+   and the diving MILP solver ({!Dfs_solver}).
+
+   The tableau survives across bound changes: {!set_var_bounds} adjusts
+   the basic values for a variable's new domain, and {!dual_restore} runs
+   the bounded dual simplex to re-establish primal feasibility while the
+   (unchanged) reduced costs keep the basis dual feasible — the standard
+   warm-start mechanism of branch-and-bound diving.
+
+   Conventions: every structural column has lower bound 0 after a per-
+   variable shift; nonbasic columns rest at a bound; [beta] holds the
+   basic values. See {!Simplex} for the one-shot API. *)
+
+let src = Logs.Src.create "milp.simplex" ~doc:"LP simplex solver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type status = At_lower | At_upper | Basic
+
+(* How an original variable maps to solver columns. The shift of Shifted /
+   Flipped columns lives in the mutable [shift] array so branching can
+   move bounds without rebuilding. *)
+type var_map =
+  | Fixed                          (* lo = hi; value = shift *)
+  | Shifted of int                 (* x = shift + y_col *)
+  | Flipped of int                 (* x = shift - y_col  (lo = -inf) *)
+  | Split of int * int             (* x = y_pos - y_neg  (free) *)
+
+type t = {
+  problem : Problem.t;
+  n : int;
+  m : int;
+  ncols : int;
+  nstruct : int;
+  mutable act : int;               (* active column width *)
+  tab : float array array;         (* m x ncols: B^-1 A *)
+  beta : float array;              (* basic values *)
+  basis : int array;
+  stat : status array;
+  upper : float array;             (* column upper bounds (lower is 0) *)
+  enterable : bool array;
+  vmap : var_map array;
+  shift : float array;             (* per original variable *)
+  col_of_var : int array;          (* structural column of Shifted vars, -1 otherwise *)
+  artificials : int list;
+  mutable cost : float array;      (* phase-2 reduced costs (minimization) *)
+  mutable obj_sign : float;        (* +1 minimize, -1 maximize *)
+  mutable iters : int;
+}
+
+let feas_eps = 1.0e-7
+let pivot_eps = 1.0e-8
+let cost_eps = 1.0e-7
+
+let iterations t = t.iters
+
+(* Current value of column [j] (slow path; not used in hot loops). *)
+let col_value tb j =
+  match tb.stat.(j) with
+  | At_lower -> 0.0
+  | At_upper -> tb.upper.(j)
+  | Basic ->
+    let rec find i =
+      if i >= tb.m then 0.0
+      else if tb.basis.(i) = j then tb.beta.(i)
+      else find (i + 1)
+    in
+    find 0
+
+(* Gaussian elimination pivot on (row r, column j); [costs] rows are
+   eliminated alongside. [beta] is NOT touched: callers maintain it
+   explicitly (needed for nonbasic-at-upper bookkeeping). *)
+let pivot tb costs r j =
+  let trow = tb.tab.(r) in
+  let p = trow.(j) in
+  if Float.abs p < pivot_eps then invalid_arg "simplex: zero pivot";
+  let act = tb.act in
+  let inv = 1.0 /. p in
+  for k = 0 to act - 1 do
+    Array.unsafe_set trow k (Array.unsafe_get trow k *. inv)
+  done;
+  (* nonzero support of the pivot row: skipping zero columns in the
+     eliminations below is the dominant saving of the whole solver *)
+  let nnz = Array.make act 0 in
+  let n_nnz = ref 0 in
+  for k = 0 to act - 1 do
+    if Array.unsafe_get trow k <> 0.0 then begin
+      Array.unsafe_set nnz !n_nnz k;
+      incr n_nnz
+    end
+  done;
+  let n_nnz = !n_nnz in
+  let eliminate row f =
+    for ki = 0 to n_nnz - 1 do
+      let k = Array.unsafe_get nnz ki in
+      Array.unsafe_set row k
+        (Array.unsafe_get row k -. (f *. Array.unsafe_get trow k))
+    done;
+    row.(j) <- 0.0
+  in
+  for i = 0 to tb.m - 1 do
+    if i <> r then begin
+      let row = tb.tab.(i) in
+      let f = row.(j) in
+      if f <> 0.0 then eliminate row f
+    end
+  done;
+  List.iter
+    (fun cost ->
+      let f = cost.(j) in
+      if f <> 0.0 then eliminate cost f)
+    costs
+
+(* One primal iteration on the given reduced-cost row. *)
+let step tb cost ~bland =
+  let entering = ref (-1) in
+  let best = ref 0.0 in
+  (try
+     for j = 0 to tb.act - 1 do
+       if tb.enterable.(j) then
+         match tb.stat.(j) with
+         | Basic -> ()
+         | At_lower ->
+           if cost.(j) < -.cost_eps then
+             if bland then begin
+               entering := j;
+               raise Exit
+             end
+             else if cost.(j) < !best then begin
+               best := cost.(j);
+               entering := j
+             end
+         | At_upper ->
+           if cost.(j) > cost_eps then
+             if bland then begin
+               entering := j;
+               raise Exit
+             end
+             else if -.cost.(j) < !best then begin
+               best := -.cost.(j);
+               entering := j
+             end
+     done
+   with Exit -> ());
+  if !entering < 0 then `Optimal
+  else begin
+    let j = !entering in
+    let sigma = match tb.stat.(j) with At_lower -> 1.0 | _ -> -1.0 in
+    let t_best = ref tb.upper.(j) in
+    let leave_row = ref (-1) in
+    let leave_to_upper = ref false in
+    for i = 0 to tb.m - 1 do
+      let d = sigma *. tb.tab.(i).(j) in
+      if d > pivot_eps then begin
+        let t = Float.max 0.0 (tb.beta.(i) /. d) in
+        if t < !t_best -. 1.0e-12 || (!leave_row < 0 && t <= !t_best) then begin
+          t_best := t;
+          leave_row := i;
+          leave_to_upper := false
+        end
+      end
+      else if d < -.pivot_eps then begin
+        let u = tb.upper.(tb.basis.(i)) in
+        if u < infinity then begin
+          let t = Float.max 0.0 ((u -. tb.beta.(i)) /. -.d) in
+          if t < !t_best -. 1.0e-12 || (!leave_row < 0 && t <= !t_best) then begin
+            t_best := t;
+            leave_row := i;
+            leave_to_upper := true
+          end
+        end
+      end
+    done;
+    if !t_best = infinity then `Unbounded
+    else begin
+      let t = !t_best in
+      tb.iters <- tb.iters + 1;
+      if !leave_row < 0 then begin
+        for i = 0 to tb.m - 1 do
+          tb.beta.(i) <- tb.beta.(i) -. (sigma *. tb.tab.(i).(j) *. t)
+        done;
+        tb.stat.(j) <-
+          (match tb.stat.(j) with At_lower -> At_upper | _ -> At_lower);
+        `Step
+      end
+      else begin
+        let r = !leave_row in
+        for i = 0 to tb.m - 1 do
+          if i <> r then
+            tb.beta.(i) <- tb.beta.(i) -. (sigma *. tb.tab.(i).(j) *. t)
+        done;
+        let entering_value =
+          match tb.stat.(j) with
+          | At_lower -> t
+          | At_upper -> tb.upper.(j) -. t
+          | Basic -> assert false
+        in
+        let old_basic = tb.basis.(r) in
+        tb.stat.(old_basic) <- (if !leave_to_upper then At_upper else At_lower);
+        tb.stat.(j) <- Basic;
+        tb.basis.(r) <- j;
+        tb.beta.(r) <- entering_value;
+        `Pivot (r, j)
+      end
+    end
+  end
+
+let run_phase tb cost ~extra_costs ~max_iters ~deadline =
+  let stall = ref 0 in
+  let bland_threshold = 2 * (tb.m + tb.ncols) in
+  let rec loop () =
+    if
+      tb.iters > max_iters
+      || (tb.iters land 127 = 0 && Unix.gettimeofday () > deadline)
+    then `Iteration_limit
+    else begin
+      let bland = !stall > bland_threshold in
+      match step tb cost ~bland with
+      | `Optimal -> `Optimal
+      | `Unbounded -> `Unbounded
+      | `Step ->
+        incr stall;
+        loop ()
+      | `Pivot (r, j) ->
+        pivot tb (cost :: extra_costs) r j;
+        if tb.beta.(r) > feas_eps then stall := 0 else incr stall;
+        loop ()
+    end
+  in
+  loop ()
+
+(* Reduced costs of [c] w.r.t. the current basis. *)
+let reduced_costs tb c =
+  let cost = Array.copy c in
+  for i = 0 to tb.m - 1 do
+    let cb = c.(tb.basis.(i)) in
+    if Float.abs cb > 0.0 then begin
+      let row = tb.tab.(i) in
+      for k = 0 to tb.act - 1 do
+        cost.(k) <- cost.(k) -. (cb *. row.(k))
+      done
+    end
+  done;
+  for i = 0 to tb.m - 1 do
+    cost.(tb.basis.(i)) <- 0.0
+  done;
+  cost
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let build ?bounds (p : Problem.t) =
+  let n = Problem.num_vars p in
+  let get_bounds j =
+    match bounds with
+    | Some (lo, hi) -> (lo.(j), hi.(j))
+    | None -> Problem.var_bounds p j
+  in
+  let vmap = Array.make n Fixed in
+  let shift = Array.make n 0.0 in
+  let col_of_var = Array.make n (-1) in
+  let ncols_struct = ref 0 in
+  let col_upper = ref [] in
+  let infeasible_bounds = ref false in
+  for j = 0 to n - 1 do
+    let lo, hi = get_bounds j in
+    if lo > hi +. 1.0e-12 then infeasible_bounds := true
+    else if Float.abs (hi -. lo) <= 1.0e-12 && lo > neg_infinity then begin
+      vmap.(j) <- Fixed;
+      shift.(j) <- lo
+    end
+    else if lo > neg_infinity then begin
+      let c = !ncols_struct in
+      incr ncols_struct;
+      col_upper := (hi -. lo) :: !col_upper;
+      vmap.(j) <- Shifted c;
+      shift.(j) <- lo;
+      col_of_var.(j) <- c
+    end
+    else if hi < infinity then begin
+      let c = !ncols_struct in
+      incr ncols_struct;
+      col_upper := infinity :: !col_upper;
+      vmap.(j) <- Flipped c;
+      shift.(j) <- hi
+    end
+    else begin
+      let c1 = !ncols_struct in
+      let c2 = !ncols_struct + 1 in
+      ncols_struct := !ncols_struct + 2;
+      col_upper := infinity :: infinity :: !col_upper;
+      vmap.(j) <- Split (c1, c2)
+    end
+  done;
+  if !infeasible_bounds then None
+  else begin
+    let nstruct = !ncols_struct in
+    let struct_upper = Array.of_list (List.rev !col_upper) in
+    let substitute expr =
+      let row = Array.make nstruct 0.0 in
+      let const = ref (Linexpr.constant expr) in
+      Linexpr.iter_terms
+        (fun c j ->
+          match vmap.(j) with
+          | Fixed -> const := !const +. (c *. shift.(j))
+          | Shifted col ->
+            row.(col) <- row.(col) +. c;
+            const := !const +. (c *. shift.(j))
+          | Flipped col ->
+            row.(col) <- row.(col) -. c;
+            const := !const +. (c *. shift.(j))
+          | Split (cp, cn) ->
+            row.(cp) <- row.(cp) +. c;
+            row.(cn) <- row.(cn) -. c)
+        expr;
+      (row, !const)
+    in
+    let m = Problem.num_constrs p in
+    let rows = Array.make m [||] in
+    let rhs = Array.make m 0.0 in
+    let senses = Array.make m Problem.Eq in
+    let k = ref 0 in
+    Problem.iter_constrs
+      (fun c ->
+        let row, const = substitute c.Problem.c_expr in
+        let b = c.Problem.c_rhs -. const in
+        (* normalize to b >= 0; ">= 0" rows become "<= 0" so they start
+           feasible with a plain slack and need no artificial *)
+        let row, b, sense =
+          if b < 0.0 || (b = 0.0 && c.Problem.c_sense = Problem.Ge) then begin
+            for i = 0 to nstruct - 1 do
+              row.(i) <- -.row.(i)
+            done;
+            ( row,
+              -.b,
+              match c.Problem.c_sense with
+              | Problem.Le -> Problem.Ge
+              | Problem.Ge -> Problem.Le
+              | Problem.Eq -> Problem.Eq )
+          end
+          else (row, b, c.Problem.c_sense)
+        in
+        rows.(!k) <- row;
+        rhs.(!k) <- b;
+        senses.(!k) <- sense;
+        incr k)
+      p;
+    let n_slack =
+      Array.fold_left
+        (fun acc s ->
+          match s with Problem.Le | Problem.Ge -> acc + 1 | Problem.Eq -> acc)
+        0 senses
+    in
+    let n_artif =
+      Array.fold_left
+        (fun acc s ->
+          match s with Problem.Ge | Problem.Eq -> acc + 1 | Problem.Le -> acc)
+        0 senses
+    in
+    let ncols = nstruct + n_slack + n_artif in
+    let tab =
+      Array.init m (fun i ->
+          let row = Array.make ncols 0.0 in
+          Array.blit rows.(i) 0 row 0 nstruct;
+          row)
+    in
+    let upper = Array.make ncols infinity in
+    Array.blit struct_upper 0 upper 0 nstruct;
+    let stat = Array.make ncols At_lower in
+    let basis = Array.make m (-1) in
+    let beta = Array.make m 0.0 in
+    let enterable = Array.make ncols true in
+    let slack_idx = ref nstruct in
+    let artif_idx = ref (nstruct + n_slack) in
+    let artificials = ref [] in
+    for i = 0 to m - 1 do
+      beta.(i) <- rhs.(i);
+      match senses.(i) with
+      | Problem.Le ->
+        let s = !slack_idx in
+        incr slack_idx;
+        tab.(i).(s) <- 1.0;
+        basis.(i) <- s;
+        stat.(s) <- Basic
+      | Problem.Ge ->
+        let s = !slack_idx in
+        incr slack_idx;
+        tab.(i).(s) <- -1.0;
+        let a = !artif_idx in
+        incr artif_idx;
+        tab.(i).(a) <- 1.0;
+        basis.(i) <- a;
+        stat.(a) <- Basic;
+        enterable.(a) <- false;
+        artificials := a :: !artificials
+      | Problem.Eq ->
+        let a = !artif_idx in
+        incr artif_idx;
+        tab.(i).(a) <- 1.0;
+        basis.(i) <- a;
+        stat.(a) <- Basic;
+        enterable.(a) <- false;
+        artificials := a :: !artificials
+    done;
+    let tb =
+      {
+        problem = p;
+        n;
+        m;
+        ncols;
+        nstruct;
+        act = ncols;
+        tab;
+        beta;
+        basis;
+        stat;
+        upper;
+        enterable;
+        vmap;
+        shift;
+        col_of_var;
+        artificials = !artificials;
+        cost = [||];
+        obj_sign = 1.0;
+        iters = 0;
+      }
+    in
+    (* tiny deterministic rhs perturbation against degenerate stalling,
+       inequality rows only (each has its own slack, so no dependency
+       between equalities can be broken) *)
+    for i = 0 to m - 1 do
+      match senses.(i) with
+      | Problem.Le | Problem.Ge ->
+        tb.beta.(i) <- tb.beta.(i) +. (2.0e-8 *. float_of_int (1 + (i mod 89)))
+      | Problem.Eq -> ()
+    done;
+    Some tb
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Phases                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Phase I: drive artificials to zero, fix them there, try to pivot the
+   degenerate ones out of the basis, shrink the active width. *)
+let phase1 tb ~max_iters ~deadline =
+  if tb.artificials = [] then begin
+    tb.act <- tb.ncols - 0;
+    (* no artificial columns were created at all *)
+    `Feasible
+  end
+  else begin
+    let c1 = Array.make tb.ncols 0.0 in
+    List.iter (fun a -> c1.(a) <- 1.0) tb.artificials;
+    let cost = reduced_costs tb c1 in
+    match run_phase tb cost ~extra_costs:[] ~max_iters ~deadline with
+    | `Optimal ->
+      let infeas =
+        List.fold_left (fun acc a -> acc +. col_value tb a) 0.0 tb.artificials
+      in
+      if infeas > 1.0e-5 then `Infeasible
+      else begin
+        List.iter (fun a -> tb.upper.(a) <- 0.0) tb.artificials;
+        let first_artif =
+          List.fold_left min tb.ncols tb.artificials
+        in
+        for r = 0 to tb.m - 1 do
+          if tb.basis.(r) >= first_artif && Float.abs tb.beta.(r) <= feas_eps
+          then begin
+            let j = ref (-1) in
+            let k = ref 0 in
+            while !j < 0 && !k < first_artif do
+              if
+                Float.abs tb.tab.(r).(!k) > 100.0 *. pivot_eps
+                && tb.stat.(!k) <> Basic
+              then j := !k;
+              incr k
+            done;
+            if !j >= 0 then begin
+              let entering = !j in
+              let entering_value =
+                match tb.stat.(entering) with
+                | At_lower -> 0.0
+                | At_upper -> tb.upper.(entering)
+                | Basic -> assert false
+              in
+              tb.stat.(tb.basis.(r)) <- At_lower;
+              tb.stat.(entering) <- Basic;
+              tb.basis.(r) <- entering;
+              pivot tb [ cost ] r entering;
+              tb.beta.(r) <- entering_value
+            end
+          end
+        done;
+        let any_basic_artif = ref false in
+        for r = 0 to tb.m - 1 do
+          if tb.basis.(r) >= first_artif then any_basic_artif := true
+        done;
+        if not !any_basic_artif then tb.act <- first_artif;
+        `Feasible
+      end
+    | `Unbounded -> `Infeasible (* phase-I objective is bounded below *)
+    | `Iteration_limit -> `Limit
+  end
+
+(* Tiny deterministic perturbation of the nonbasic reduced costs, in the
+   dual-feasible direction for each column's current status. Breaks the
+   massive ratio-degeneracy (many exactly-zero reduced costs) that makes
+   the bounded dual simplex cycle on assignment-like models; magnitudes
+   stay below [cost_eps] so primal pricing is unaffected, and objective
+   values are always re-evaluated from the original expression. *)
+let perturb_costs tb =
+  for j = 0 to tb.ncols - 1 do
+    match tb.stat.(j) with
+    | Basic -> ()
+    | At_lower ->
+      tb.cost.(j) <- tb.cost.(j) +. (1.0e-9 *. float_of_int (1 + (j * 31 mod 127)))
+    | At_upper ->
+      tb.cost.(j) <- tb.cost.(j) -. (1.0e-9 *. float_of_int (1 + (j * 31 mod 127)))
+  done
+
+(* Install the problem's objective as the phase-2 reduced-cost row. *)
+let install_objective tb =
+  let dir, obj_expr = Problem.objective tb.problem in
+  tb.obj_sign <-
+    (match dir with Problem.Minimize -> 1.0 | Problem.Maximize -> -1.0);
+  let c2 = Array.make tb.ncols 0.0 in
+  Linexpr.iter_terms
+    (fun c j ->
+      match tb.vmap.(j) with
+      | Fixed -> ()
+      | Shifted col -> c2.(col) <- c2.(col) +. (tb.obj_sign *. c)
+      | Flipped col -> c2.(col) <- c2.(col) -. (tb.obj_sign *. c)
+      | Split (cp, cn) ->
+        c2.(cp) <- c2.(cp) +. (tb.obj_sign *. c);
+        c2.(cn) <- c2.(cn) -. (tb.obj_sign *. c))
+    obj_expr;
+  tb.cost <- reduced_costs tb c2;
+  perturb_costs tb
+
+(* Phase II on the installed objective. *)
+let phase2 tb ~max_iters ~deadline =
+  run_phase tb tb.cost ~extra_costs:[] ~max_iters ~deadline
+
+(* Extract the solution in original-variable space. *)
+let solution tb =
+  let yval = Array.make tb.ncols 0.0 in
+  for j = 0 to tb.ncols - 1 do
+    yval.(j) <-
+      (match tb.stat.(j) with
+       | At_lower -> 0.0
+       | At_upper -> tb.upper.(j)
+       | Basic -> 0.0)
+  done;
+  for i = 0 to tb.m - 1 do
+    yval.(tb.basis.(i)) <- tb.beta.(i)
+  done;
+  let x = Array.make tb.n 0.0 in
+  for j = 0 to tb.n - 1 do
+    x.(j) <-
+      (match tb.vmap.(j) with
+       | Fixed -> tb.shift.(j)
+       | Shifted col -> tb.shift.(j) +. yval.(col)
+       | Flipped col -> tb.shift.(j) -. yval.(col)
+       | Split (cp, cn) -> yval.(cp) -. yval.(cn))
+  done;
+  x
+
+let objective_value tb =
+  let _, obj_expr = Problem.objective tb.problem in
+  Linexpr.eval obj_expr (solution tb)
+
+(* ------------------------------------------------------------------ *)
+(* Warm restarts: bound changes + bounded dual simplex                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Move variable [j]'s domain to [lo, hi]. Only supported for variables
+   built as [Shifted] (every finitely-bounded variable — in particular
+   all integers branch-and-bound touches). The basis is untouched; basic
+   values are adjusted and may leave their bounds, to be repaired by
+   {!dual_restore}. *)
+let set_var_bounds tb j ~lo ~hi =
+  match tb.vmap.(j) with
+  | Shifted col ->
+    let old_lo = tb.shift.(j) in
+    let old_hi = old_lo +. tb.upper.(col) in
+    let dx =
+      match tb.stat.(col) with
+      | At_lower -> lo -. old_lo
+      | At_upper -> hi -. old_hi
+      | Basic -> 0.0
+    in
+    if dx <> 0.0 then begin
+      (* the nonbasic variable's actual value moves by dx *)
+      for i = 0 to tb.m - 1 do
+        let a = tb.tab.(i).(col) in
+        if a <> 0.0 then tb.beta.(i) <- tb.beta.(i) -. (a *. dx)
+      done
+    end;
+    (match tb.stat.(col) with
+     | Basic ->
+       (* y = x - shift: re-shift the stored basic value *)
+       let r = ref (-1) in
+       for i = 0 to tb.m - 1 do
+         if tb.basis.(i) = col then r := i
+       done;
+       if !r >= 0 then tb.beta.(!r) <- tb.beta.(!r) -. (lo -. old_lo)
+     | At_lower | At_upper -> ());
+    tb.shift.(j) <- lo;
+    tb.upper.(col) <- hi -. lo
+  | Fixed | Flipped _ | Split _ ->
+    invalid_arg "Simplex_core.set_var_bounds: variable is not Shifted"
+
+let var_bounds_of tb j =
+  match tb.vmap.(j) with
+  | Shifted col -> (tb.shift.(j), tb.shift.(j) +. tb.upper.(col))
+  | Fixed -> (tb.shift.(j), tb.shift.(j))
+  | Flipped col ->
+    ignore col;
+    (neg_infinity, tb.shift.(j))
+  | Split _ -> (neg_infinity, infinity)
+
+(* Bounded dual simplex: repair primal feasibility after bound changes
+   while the reduced costs (unchanged by bound moves) stay dual feasible.
+   On success the basis is optimal again. *)
+let dual_restore tb ~max_iters ~deadline =
+  let start_iters = tb.iters in
+  let reperturbed = ref false in
+  let rec loop () =
+    let done_iters = tb.iters - start_iters in
+    if done_iters > max_iters then `Limit
+    else if tb.iters land 127 = 0 && Unix.gettimeofday () > deadline then `Limit
+    else begin
+      (* after a long stall, refresh the anti-degeneracy perturbation once,
+         then fall back to smallest-index selections *)
+      let stalled = done_iters > 2 * tb.m in
+      if stalled && not !reperturbed then begin
+        reperturbed := true;
+        perturb_costs tb
+      end;
+      (* violated basic variable: most violated, or smallest row index when
+         stalled (the leaving-row choice is free; correctness is preserved) *)
+      let r = ref (-1) in
+      let worst = ref feas_eps in
+      let over_upper = ref false in
+      (try
+         for i = 0 to tb.m - 1 do
+           let b = tb.beta.(i) in
+           if -.b > !worst then begin
+             worst := -.b;
+             r := i;
+             over_upper := false;
+             if stalled then raise Exit
+           end;
+           let u = tb.upper.(tb.basis.(i)) in
+           if u < infinity && b -. u > !worst then begin
+             worst := b -. u;
+             r := i;
+             over_upper := true;
+             if stalled then raise Exit
+           end
+         done
+       with Exit -> ());
+      if !r < 0 then `Feasible
+      else begin
+        let r = !r in
+        let row = tb.tab.(r) in
+        (* eligible entering columns; the dual ratio test (minimal
+           |cost/a|, ties to the smallest index) must be respected even
+           when stalled — entering on a non-minimal ratio would break dual
+           feasibility and hence the optimality of the repaired basis.
+           Columns fixed at width 0 (e.g. branching-fixed binaries) can
+           never usefully enter. *)
+        let entering = ref (-1) in
+        let best_ratio = ref infinity in
+        for j = 0 to tb.act - 1 do
+          if tb.enterable.(j) && tb.stat.(j) <> Basic && tb.upper.(j) > 0.0
+          then begin
+            let a = row.(j) in
+            if Float.abs a > pivot_eps then begin
+              let eligible =
+                if not !over_upper then
+                  (* beta_r below lower: raise it *)
+                  match tb.stat.(j) with
+                  | At_lower -> a < 0.0
+                  | At_upper -> a > 0.0
+                  | Basic -> false
+                else
+                  match tb.stat.(j) with
+                  | At_lower -> a > 0.0
+                  | At_upper -> a < 0.0
+                  | Basic -> false
+              in
+              if eligible then begin
+                let ratio = Float.abs (tb.cost.(j) /. a) in
+                if ratio < !best_ratio -. 1.0e-12 then begin
+                  best_ratio := ratio;
+                  entering := j
+                end
+              end
+            end
+          end
+        done;
+        if !entering < 0 then `Infeasible
+        else begin
+          let j = !entering in
+          let target = if !over_upper then tb.upper.(tb.basis.(r)) else 0.0 in
+          let t = (tb.beta.(r) -. target) /. row.(j) in
+          tb.iters <- tb.iters + 1;
+          (* the leaving variable rests at the violated bound *)
+          let leaving = tb.basis.(r) in
+          let entering_bound_value =
+            match tb.stat.(j) with
+            | At_lower -> 0.0
+            | At_upper -> tb.upper.(j)
+            | Basic -> assert false
+          in
+          for i = 0 to tb.m - 1 do
+            if i <> r then begin
+              let a = tb.tab.(i).(j) in
+              if a <> 0.0 then tb.beta.(i) <- tb.beta.(i) -. (a *. t)
+            end
+          done;
+          tb.stat.(leaving) <- (if !over_upper then At_upper else At_lower);
+          tb.stat.(j) <- Basic;
+          tb.basis.(r) <- j;
+          pivot tb [ tb.cost ] r j;
+          tb.beta.(r) <- entering_bound_value +. t;
+          loop ()
+        end
+      end
+    end
+  in
+  loop ()

@@ -1,0 +1,1 @@
+lib/rt_analysis/rt_analysis.ml: Rta Sensitivity

@@ -1,0 +1,1 @@
+lib/rt_analysis/rta.ml: App Array Fmt List Rt_model Task Time

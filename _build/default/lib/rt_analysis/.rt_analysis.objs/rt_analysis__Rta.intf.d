@@ -1,0 +1,1 @@
+lib/rt_analysis/rta.mli: App Format Rt_model Task Time

@@ -1,0 +1,1 @@
+lib/rt_analysis/sensitivity.ml: App Array Fmt List Rt_model Rta Task Time

@@ -1,0 +1,1 @@
+lib/rt_analysis/sensitivity.mli: App Format Rt_model Time

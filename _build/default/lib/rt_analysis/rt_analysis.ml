@@ -1,0 +1,5 @@
+(** Schedulability machinery: jitter-aware response-time analysis and the
+    paper's sensitivity procedure for data-acquisition deadlines. *)
+
+module Rta = Rta
+module Sensitivity = Sensitivity

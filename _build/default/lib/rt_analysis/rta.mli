@@ -1,0 +1,29 @@
+(** Response-time analysis for fixed-priority preemptive partitioned
+    scheduling with release jitter.
+
+    Priorities are rate-monotonic (ties by task id). The jitter array
+    models the data-acquisition latency: a job released at [t] becomes
+    ready at most [jitter.(i)] later, and must still complete by its
+    implicit deadline. *)
+
+open Rt_model
+
+(** [a] beats [b] under rate-monotonic priority with id tie-break. *)
+val higher_priority : Task.t -> Task.t -> bool
+
+val hp_tasks : App.t -> Task.t -> Task.t list
+
+(** Worst-case response time measured from the ready instant, or [None]
+    when the recurrence exceeds the deadline budget. *)
+val response_time : App.t -> jitter:Time.t array -> int -> Time.t option
+
+val no_jitter : App.t -> Time.t array
+
+(** Every task satisfies [R_i + jitter_i <= D_i]. *)
+val schedulable : App.t -> jitter:Time.t array -> bool
+
+(** [S_i = D_i - R_i] at zero jitter — the paper's sensitivity baseline. *)
+val slack : App.t -> int -> Time.t option
+
+val slacks : App.t -> Time.t option array
+val pp_analysis : App.t -> Format.formatter -> unit -> unit

@@ -1,0 +1,38 @@
+open Rt_model
+
+(* The paper's procedure for deriving data-acquisition deadlines
+   (Section VII): gamma_i = alpha * S_i where S_i = D_i - R_i is the
+   zero-jitter slack, for alpha in {0.1, ..., 0.5}; the resulting gammas
+   are then validated by re-running the analysis with gamma as jitter. *)
+
+type t = {
+  alpha : float;
+  gamma : Time.t array;
+  schedulable : bool; (* with gamma as release jitter *)
+}
+
+let gammas app ~alpha =
+  if alpha < 0.0 || alpha > 1.0 then invalid_arg "Sensitivity.gammas: alpha must be in [0,1]";
+  let n = App.num_tasks app in
+  let slacks = Rta.slacks app in
+  let gamma = Array.make n Time.zero in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    match slacks.(i) with
+    | Some s -> gamma.(i) <- Time.of_ns (int_of_float (alpha *. float_of_int (Time.to_ns s)))
+    | None -> ok := false
+  done;
+  if not !ok then None
+  else Some { alpha; gamma; schedulable = Rta.schedulable app ~jitter:gamma }
+
+(* The alpha sweep of Section VII. *)
+let sweep ?(alphas = [ 0.1; 0.2; 0.3; 0.4; 0.5 ]) app =
+  List.map (fun alpha -> (alpha, gammas app ~alpha)) alphas
+
+let pp app ppf t =
+  Fmt.pf ppf "@[<v>alpha=%.1f (%s)@,%a@]" t.alpha
+    (if t.schedulable then "schedulable" else "NOT schedulable")
+    Fmt.(
+      list ~sep:cut (fun ppf (task : Task.t) ->
+          pf ppf "  gamma(%s) = %a" task.Task.name Time.pp t.gamma.(task.Task.id)))
+    (App.tasks app)

@@ -1,0 +1,18 @@
+(** Data-acquisition deadline assignment by sensitivity analysis
+    (Section VII): gamma_i = alpha * (D_i - R_i). *)
+
+open Rt_model
+
+type t = {
+  alpha : float;
+  gamma : Time.t array;  (** per-task data-acquisition deadline *)
+  schedulable : bool;  (** task set schedulable with gamma as jitter *)
+}
+
+(** [None] when the task set is unschedulable even at zero jitter. *)
+val gammas : App.t -> alpha:float -> t option
+
+(** The paper's alpha in {0.1 .. 0.5} sweep. *)
+val sweep : ?alphas:float list -> App.t -> (float * t option) list
+
+val pp : App.t -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/rt_model/rt_model.ml: App Label Platform Task Time

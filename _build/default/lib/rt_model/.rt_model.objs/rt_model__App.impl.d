@@ -1,0 +1,1 @@
+lib/rt_model/app.ml: Array Fmt Hashtbl Label List Platform String Task Time

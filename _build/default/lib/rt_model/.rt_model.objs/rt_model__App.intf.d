@@ -1,0 +1,1 @@
+lib/rt_model/app.mli: Format Label Platform Task Time

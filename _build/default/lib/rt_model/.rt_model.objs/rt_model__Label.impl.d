@@ -1,0 +1,1 @@
+lib/rt_model/label.ml: Fmt Int List

@@ -1,0 +1,1 @@
+lib/rt_model/platform.ml: Fmt Int List Time

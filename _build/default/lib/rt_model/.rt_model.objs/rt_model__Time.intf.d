@@ -1,0 +1,1 @@
+lib/rt_model/time.mli: Format

@@ -1,0 +1,165 @@
+type t = {
+  tasks : Task.t array; (* indexed by task id *)
+  labels : Label.t array; (* indexed by label id *)
+  platform : Platform.t;
+}
+
+exception Invalid of string
+
+let invalid fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+let make ~platform ~tasks ~labels =
+  let tasks = Array.of_list tasks in
+  let labels = Array.of_list labels in
+  Array.iteri
+    (fun i (t : Task.t) ->
+      if t.Task.id <> i then invalid "task %s: id %d at position %d" t.Task.name t.Task.id i;
+      if t.Task.core >= platform.Platform.n_cores then
+        invalid "task %s mapped to core %d but platform has %d cores"
+          t.Task.name t.Task.core platform.Platform.n_cores)
+    tasks;
+  let n = Array.length tasks in
+  let names = Hashtbl.create 16 in
+  Array.iter
+    (fun (t : Task.t) ->
+      if Hashtbl.mem names t.Task.name then
+        invalid "duplicate task name %s" t.Task.name;
+      Hashtbl.add names t.Task.name ())
+    tasks;
+  Array.iteri
+    (fun i (l : Label.t) ->
+      if l.Label.id <> i then
+        invalid "label %s: id %d at position %d" l.Label.name l.Label.id i;
+      if l.Label.writer < 0 || l.Label.writer >= n then
+        invalid "label %s: unknown writer %d" l.Label.name l.Label.writer;
+      List.iter
+        (fun r ->
+          if r < 0 || r >= n then
+            invalid "label %s: unknown reader %d" l.Label.name r)
+        l.Label.readers)
+    labels;
+  { tasks; labels; platform }
+
+let platform a = a.platform
+let num_tasks a = Array.length a.tasks
+let num_labels a = Array.length a.labels
+let task a i = a.tasks.(i)
+let label a i = a.labels.(i)
+let tasks a = Array.to_list a.tasks
+let labels a = Array.to_list a.labels
+
+let task_by_name a name =
+  let found = ref None in
+  Array.iter
+    (fun (t : Task.t) -> if String.equal t.Task.name name then found := Some t)
+    a.tasks;
+  match !found with
+  | Some t -> t
+  | None -> raise Not_found
+
+let core_of a i = (task a i).Task.core
+
+let tasks_on_core a k =
+  List.filter (fun (t : Task.t) -> t.Task.core = k) (tasks a)
+
+let hyperperiod a =
+  match tasks a with
+  | [] -> Time.zero
+  | ts -> Time.lcm_list (List.map (fun (t : Task.t) -> t.Task.period) ts)
+
+(* Readers of [l] running on a core other than the writer's. *)
+let inter_core_readers a (l : Label.t) =
+  let wc = core_of a l.Label.writer in
+  List.filter (fun r -> core_of a r <> wc) l.Label.readers
+
+let is_inter_core a l = inter_core_readers a l <> []
+
+let inter_core_labels a =
+  List.filter (fun l -> is_inter_core a l) (labels a)
+
+(* L^S(p, c): labels written by [producer] and read by [consumer], with the
+   two tasks on different cores. *)
+let shared_between a ~producer ~consumer =
+  if core_of a producer = core_of a consumer then []
+  else
+    List.filter
+      (fun (l : Label.t) ->
+        l.Label.writer = producer && List.mem consumer l.Label.readers)
+      (labels a)
+
+(* Task pairs (p, c) with L^S(p, c) non-empty. *)
+let communication_edges a =
+  let edges = ref [] in
+  List.iter
+    (fun (l : Label.t) ->
+      List.iter
+        (fun c ->
+          if core_of a c <> core_of a l.Label.writer then begin
+            let e = (l.Label.writer, c) in
+            if not (List.mem e !edges) then edges := e :: !edges
+          end)
+        l.Label.readers)
+    (labels a);
+  List.sort compare !edges
+
+(* H_i* of Eq. (3): the repetition period of task i's LET communications. *)
+let comm_hyperperiod a i =
+  let ti = (task a i).Task.period in
+  let partners =
+    List.filter_map
+      (fun (p, c) ->
+        if p = i then Some (task a c).Task.period
+        else if c = i then Some (task a p).Task.period
+        else None)
+      (communication_edges a)
+  in
+  Time.lcm_list (ti :: partners)
+
+(* Total bytes of inter-core labels, to validate memory capacities. A local
+   memory holds the copies of every inter-core label its tasks write or
+   read; the global memory holds every inter-core label. *)
+let memory_demand a (m : Platform.memory) =
+  match m with
+  | Platform.Global ->
+    List.fold_left (fun acc (l : Label.t) -> acc + l.Label.size) 0
+      (inter_core_labels a)
+  | Platform.Local k ->
+    List.fold_left
+      (fun acc (l : Label.t) ->
+        let involved =
+          core_of a l.Label.writer = k
+          || List.exists (fun r -> core_of a r = k) (inter_core_readers a l)
+        in
+        if involved && is_inter_core a l then acc + l.Label.size else acc)
+      0 (labels a)
+
+let check_memory_fit a =
+  let p = a.platform in
+  let problems = ref [] in
+  List.iter
+    (fun m ->
+      let demand = memory_demand a m in
+      let cap =
+        match m with
+        | Platform.Global -> p.Platform.global_mem_bytes
+        | Platform.Local _ -> p.Platform.local_mem_bytes
+      in
+      if demand > cap then
+        problems :=
+          Fmt.str "%a: demand %dB exceeds capacity %dB" Platform.pp_memory m
+            demand cap
+          :: !problems)
+    (Platform.memories p);
+  List.rev !problems
+
+let total_utilization_per_core a =
+  Array.init a.platform.Platform.n_cores (fun k ->
+      List.fold_left
+        (fun acc t -> acc +. Task.utilization t)
+        0.0 (tasks_on_core a k))
+
+let pp ppf a =
+  Fmt.pf ppf "@[<v>%a@,%d tasks, %d labels, H=%a@,%a@]" Platform.pp a.platform
+    (num_tasks a) (num_labels a) Time.pp (hyperperiod a)
+    Fmt.(list ~sep:cut Task.pp)
+    (tasks a)

@@ -1,0 +1,61 @@
+(** A validated application: a task set partitioned on a platform plus its
+    communication labels (Section III).
+
+    Task and label ids are required to be dense indices (id [i] at position
+    [i]); {!make} enforces this along with referential integrity, giving
+    O(1) lookups everywhere else. *)
+
+type t
+
+exception Invalid of string
+
+(** Raises {!Invalid} when ids are not dense, a task is mapped outside the
+    platform, task names collide, or a label references unknown tasks. *)
+val make : platform:Platform.t -> tasks:Task.t list -> labels:Label.t list -> t
+
+val platform : t -> Platform.t
+val num_tasks : t -> int
+val num_labels : t -> int
+val task : t -> int -> Task.t
+val label : t -> int -> Label.t
+val tasks : t -> Task.t list
+val labels : t -> Label.t list
+
+(** Raises [Not_found] for unknown names. *)
+val task_by_name : t -> string -> Task.t
+
+val core_of : t -> int -> int
+val tasks_on_core : t -> int -> Task.t list
+
+(** LCM of all task periods. *)
+val hyperperiod : t -> Time.t
+
+(** Readers of a label that run on a different core than its writer. *)
+val inter_core_readers : t -> Label.t -> int list
+
+val is_inter_core : t -> Label.t -> bool
+
+(** Labels with at least one inter-core reader; exactly these are mapped in
+    global memory and handled by the DMA. *)
+val inter_core_labels : t -> Label.t list
+
+(** [shared_between a ~producer ~consumer] is the paper's
+    L^S(producer, consumer): empty when the two tasks share a core. *)
+val shared_between : t -> producer:int -> consumer:int -> Label.t list
+
+(** Distinct (producer, consumer) pairs with non-empty L^S, sorted. *)
+val communication_edges : t -> (int * int) list
+
+(** H_i* of Eq. (3): LCM of task [i]'s period with the periods of all its
+    communication partners. *)
+val comm_hyperperiod : t -> int -> Time.t
+
+(** Bytes that must fit in the given memory under the paper's mapping
+    rules. *)
+val memory_demand : t -> Platform.memory -> int
+
+(** Human-readable capacity violations (empty list = everything fits). *)
+val check_memory_fit : t -> string list
+
+val total_utilization_per_core : t -> float array
+val pp : Format.formatter -> t -> unit

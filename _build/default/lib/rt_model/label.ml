@@ -1,0 +1,24 @@
+type t = {
+  id : int;
+  name : string;
+  size : int; (* bytes *)
+  writer : int; (* task id *)
+  readers : int list; (* task ids, distinct, not containing the writer *)
+}
+
+let make ~id ~name ~size ~writer ~readers =
+  if size <= 0 then invalid_arg "Label.make: size must be positive";
+  if List.mem writer readers then
+    invalid_arg "Label.make: writer cannot also be a reader";
+  let sorted = List.sort_uniq Int.compare readers in
+  if List.length sorted <> List.length readers then
+    invalid_arg "Label.make: duplicate readers";
+  { id; name; size; writer; readers = sorted }
+
+let compare a b = Int.compare a.id b.id
+let equal a b = Int.equal a.id b.id
+
+let pp ppf l =
+  Fmt.pf ppf "%s(%dB,w=%d,r=[%a])" l.name l.size l.writer
+    Fmt.(list ~sep:(any ",") int)
+    l.readers

@@ -1,0 +1,23 @@
+(** Communication labels (Section III.B).
+
+    A label is a memory slot of [size] bytes written by exactly one task
+    and read by any number of other tasks. Labels shared across cores are
+    mapped in global memory with per-core local copies; the DMA moves data
+    between the copies and the shared instance. *)
+
+type t = private {
+  id : int;
+  name : string;
+  size : int;  (** bytes *)
+  writer : int;  (** writer task id (single-writer model) *)
+  readers : int list;  (** reader task ids, sorted, writer excluded *)
+}
+
+(** Raises [Invalid_argument] on non-positive size, duplicate readers, or a
+    writer listed among the readers. *)
+val make :
+  id:int -> name:string -> size:int -> writer:int -> readers:int list -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type memory = Local of int | Global
+
+let equal_memory a b =
+  match (a, b) with
+  | Local i, Local j -> Int.equal i j
+  | Global, Global -> true
+  | Local _, Global | Global, Local _ -> false
+
+let compare_memory a b =
+  match (a, b) with
+  | Local i, Local j -> Int.compare i j
+  | Local _, Global -> -1
+  | Global, Local _ -> 1
+  | Global, Global -> 0
+
+let pp_memory ppf = function
+  | Local i -> Fmt.pf ppf "M%d" (i + 1)
+  | Global -> Fmt.string ppf "MG"
+
+type t = {
+  n_cores : int;
+  o_dp : Time.t;
+  o_isr : Time.t;
+  dma_ns_per_byte : float;
+  cpu_ns_per_byte : float;
+  local_mem_bytes : int;
+  global_mem_bytes : int;
+}
+
+let make ?(o_dp = Time.of_ns 3360) ?(o_isr = Time.of_us 10)
+    ?(dma_ns_per_byte = 1.0) ?(cpu_ns_per_byte = 4.0)
+    ?(local_mem_bytes = 128 * 1024) ?(global_mem_bytes = 8 * 1024 * 1024)
+    ~n_cores () =
+  if n_cores <= 0 then invalid_arg "Platform.make: need at least one core";
+  if o_dp < 0 || o_isr < 0 then invalid_arg "Platform.make: negative overhead";
+  if dma_ns_per_byte <= 0.0 || cpu_ns_per_byte <= 0.0 then
+    invalid_arg "Platform.make: copy costs must be positive";
+  {
+    n_cores;
+    o_dp;
+    o_isr;
+    dma_ns_per_byte;
+    cpu_ns_per_byte;
+    local_mem_bytes;
+    global_mem_bytes;
+  }
+
+(* Worst-case duration of a DMA copy of [bytes] bytes (excluding
+   programming and ISR overheads). *)
+let dma_copy_time t bytes =
+  Time.of_ns (int_of_float (ceil (float_of_int bytes *. t.dma_ns_per_byte)))
+
+(* Worst-case duration of a CPU-driven copy without contention. *)
+let cpu_copy_time t bytes =
+  Time.of_ns (int_of_float (ceil (float_of_int bytes *. t.cpu_ns_per_byte)))
+
+(* lambda_O in the paper: per-transfer overhead o_DP + o_ISR. *)
+let lambda_o t = Time.( + ) t.o_dp t.o_isr
+
+let memories t =
+  List.init t.n_cores (fun i -> Local i) @ [ Global ]
+
+let pp ppf t =
+  Fmt.pf ppf
+    "platform: %d cores, o_DP=%a, o_ISR=%a, DMA %.2f ns/B, CPU %.2f ns/B"
+    t.n_cores Time.pp t.o_dp Time.pp t.o_isr t.dma_ns_per_byte
+    t.cpu_ns_per_byte

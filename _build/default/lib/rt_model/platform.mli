@@ -1,0 +1,51 @@
+(** Multicore platform model (Section III.A): N identical cores each with a
+    dual-ported local scratchpad, one shared global memory, and a single
+    DMA engine moving data between a local memory and the global one.
+
+    Default cost parameters follow the paper's evaluation: DMA programming
+    overhead o_DP = 3.36 us (measured in Tabish et al. [8]) and completion
+    ISR overhead o_ISR = 10 us. Copy costs are linear per byte; the CPU
+    per-byte cost is higher than the DMA's, and CPU copies additionally
+    suffer cross-core contention in the simulator. *)
+
+type memory = Local of int  (** core-local scratchpad of core [i] *)
+            | Global
+
+val equal_memory : memory -> memory -> bool
+val compare_memory : memory -> memory -> int
+val pp_memory : Format.formatter -> memory -> unit
+
+type t = private {
+  n_cores : int;
+  o_dp : Time.t;  (** DMA programming overhead per transfer *)
+  o_isr : Time.t;  (** DMA completion interrupt service time *)
+  dma_ns_per_byte : float;
+  cpu_ns_per_byte : float;
+  local_mem_bytes : int;
+  global_mem_bytes : int;
+}
+
+val make :
+  ?o_dp:Time.t ->
+  ?o_isr:Time.t ->
+  ?dma_ns_per_byte:float ->
+  ?cpu_ns_per_byte:float ->
+  ?local_mem_bytes:int ->
+  ?global_mem_bytes:int ->
+  n_cores:int ->
+  unit ->
+  t
+
+(** Pure copy duration of a DMA transfer of [bytes] (overheads excluded). *)
+val dma_copy_time : t -> int -> Time.t
+
+(** Contention-free CPU copy duration of [bytes]. *)
+val cpu_copy_time : t -> int -> Time.t
+
+(** The paper's per-transfer overhead lambda_O = o_DP + o_ISR. *)
+val lambda_o : t -> Time.t
+
+(** All memories: local scratchpads in core order, then [Global]. *)
+val memories : t -> memory list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,9 @@
+(** Application and platform model of the DAC 2021 paper (Section III):
+    periodic tasks under partitioned scheduling, single-writer labels,
+    scratchpad-based multicore with one DMA engine. *)
+
+module Time = Time
+module Task = Task
+module Label = Label
+module Platform = Platform
+module App = App

@@ -1,0 +1,25 @@
+type t = {
+  id : int;
+  name : string;
+  period : Time.t;
+  wcet : Time.t;
+  core : int;
+}
+
+let make ~id ~name ~period ~wcet ~core =
+  if period <= 0 then invalid_arg "Task.make: period must be positive";
+  if wcet < 0 then invalid_arg "Task.make: wcet must be non-negative";
+  if wcet > period then invalid_arg "Task.make: wcet exceeds period";
+  if core < 0 then invalid_arg "Task.make: negative core";
+  { id; name; period; wcet; core }
+
+(* Implicit deadlines (D_i = T_i), as in the paper's model. *)
+let deadline t = t.period
+
+let utilization t = Time.to_s_float t.wcet /. Time.to_s_float t.period
+
+let compare a b = Int.compare a.id b.id
+let equal a b = Int.equal a.id b.id
+
+let pp ppf t =
+  Fmt.pf ppf "%s(T=%a,C=%a,P%d)" t.name Time.pp t.period Time.pp t.wcet t.core

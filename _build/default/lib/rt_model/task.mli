@@ -1,0 +1,22 @@
+(** Periodic real-time tasks (Section III.A of the paper).
+
+    Tasks have implicit deadlines ([deadline t = t.period]), are released
+    synchronously at time 0, and are statically partitioned onto cores. *)
+
+type t = private {
+  id : int;
+  name : string;
+  period : Time.t;
+  wcet : Time.t;
+  core : int;
+}
+
+(** Raises [Invalid_argument] on non-positive period, negative WCET,
+    WCET > period, or negative core index. *)
+val make : id:int -> name:string -> period:Time.t -> wcet:Time.t -> core:int -> t
+
+val deadline : t -> Time.t
+val utilization : t -> float
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

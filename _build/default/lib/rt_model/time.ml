@@ -1,0 +1,46 @@
+(* Time as integer nanoseconds. 63-bit ints hold ~292 years, far beyond any
+   hyperperiod of interest; integer arithmetic keeps LCM/GCD exact. *)
+
+type t = int
+
+let zero = 0
+let of_ns n = n
+let of_us n = n * 1_000
+let of_ms n = n * 1_000_000
+let of_s n = n * 1_000_000_000
+let to_ns t = t
+let to_us_float t = float_of_int t /. 1.0e3
+let to_ms_float t = float_of_int t /. 1.0e6
+let to_s_float t = float_of_int t /. 1.0e9
+
+let ( + ) = Stdlib.( + )
+let ( - ) = Stdlib.( - )
+let ( * ) (k : int) (t : t) : t = Stdlib.( * ) k t
+
+let compare = Int.compare
+let equal = Int.equal
+let min = Stdlib.min
+let max = Stdlib.max
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let gcd a b = gcd (abs a) (abs b)
+
+let lcm a b =
+  if a = 0 || b = 0 then 0
+  else
+    let g = gcd a b in
+    abs (Stdlib.( * ) (a / g) b)
+
+let lcm_list = function
+  | [] -> invalid_arg "Time.lcm_list: empty list"
+  | x :: rest -> List.fold_left lcm x rest
+
+let pp ppf t =
+  if t = 0 then Fmt.string ppf "0"
+  else if t mod 1_000_000_000 = 0 then Fmt.pf ppf "%ds" (t / 1_000_000_000)
+  else if t mod 1_000_000 = 0 then Fmt.pf ppf "%dms" (t / 1_000_000)
+  else if t mod 1_000 = 0 then Fmt.pf ppf "%dus" (t / 1_000)
+  else Fmt.pf ppf "%dns" t
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,34 @@
+(** Time values as integer nanoseconds.
+
+    All model quantities (periods, overheads, latencies) are kept in exact
+    integer nanoseconds so hyperperiod arithmetic (LCM/GCD) never loses
+    precision; conversion to floating-point microseconds happens only at
+    the MILP boundary and in reports. *)
+
+type t = int
+
+val zero : t
+val of_ns : int -> t
+val of_us : int -> t
+val of_ms : int -> t
+val of_s : int -> t
+val to_ns : t -> int
+val to_us_float : t -> float
+val to_ms_float : t -> float
+val to_s_float : t -> float
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+
+(** [k * t] scales a duration by an integer factor. *)
+val ( * ) : int -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val gcd : t -> t -> t
+val lcm : t -> t -> t
+val lcm_list : t list -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

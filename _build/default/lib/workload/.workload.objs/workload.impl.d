@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Automotive Generator Waters2019

@@ -1,0 +1,1 @@
+lib/workload/automotive.ml: App Array Fmt Generator Label List Platform Random Rt_model Task Time

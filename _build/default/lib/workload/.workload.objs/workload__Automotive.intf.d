@@ -1,0 +1,1 @@
+lib/workload/automotive.mli: App Rt_model

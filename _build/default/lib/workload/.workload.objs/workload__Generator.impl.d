@@ -1,0 +1,1 @@
+lib/workload/generator.ml: App Array Fmt Int Label List Platform Random Rt_model Task Time

@@ -1,0 +1,1 @@
+lib/workload/waters2019.ml: App Array Fmt Label List Platform Rt_model Task Time

@@ -1,0 +1,1 @@
+lib/workload/waters2019.mli: App Platform Rt_model

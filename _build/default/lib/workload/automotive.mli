@@ -1,0 +1,29 @@
+(** Automotive benchmark generator after Kramer, Ziegenbein & Hamann,
+    "Real world automotive benchmarks for free" (WATERS 2015): periods
+    drawn from the published engine-control distribution (1-1000 ms grid,
+    10/20/100 ms dominating), WCETs by per-core UUniFast, and
+    communication via many small signals (1-64 B, small sizes dominating).
+
+    Deterministic for a given seed. *)
+
+open Rt_model
+
+type config = {
+  n_cores : int;
+  n_tasks : int;
+  utilization_per_core : float;
+  comm_probability : float;
+      (** probability that an ordered cross-core task pair communicates *)
+  max_labels_per_edge : int;
+}
+
+val default_config : config
+
+(** The published (period, share) grid, exposed for tests. *)
+val period_distribution : (int * float) list
+
+val generate : ?seed:int -> ?config:config -> unit -> App.t
+
+(** Fraction of task pairs with harmonic periods (high by construction of
+    the period grid). *)
+val harmonic_ratio : App.t -> float

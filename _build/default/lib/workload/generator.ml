@@ -1,0 +1,110 @@
+open Rt_model
+
+(* Seeded random workload generator, used by the ablation benches and by
+   property-based tests. Periods are drawn from an automotive-style grid,
+   WCETs from a bounded per-core utilization budget (UUniFast), and the
+   communication graph from random cross-core writer/reader pairs. *)
+
+type config = {
+  n_cores : int;
+  n_tasks : int;
+  n_edges : int;
+  periods_ms : int list; (* candidate periods *)
+  min_label_bytes : int;
+  max_label_bytes : int;
+  max_labels_per_edge : int;
+  utilization_per_core : float;
+}
+
+let default_config =
+  {
+    n_cores = 2;
+    n_tasks = 6;
+    n_edges = 5;
+    periods_ms = [ 5; 10; 20; 50; 100 ];
+    min_label_bytes = 8;
+    max_label_bytes = 2048;
+    max_labels_per_edge = 2;
+    utilization_per_core = 0.5;
+  }
+
+(* UUniFast (Bini & Buttazzo): n utilization shares summing to [u]. *)
+let uunifast st n u =
+  let rec go i sum acc =
+    if i = n then List.rev (sum :: acc)
+    else begin
+      let next = sum *. (Random.State.float st 1.0 ** (1.0 /. float_of_int (n - i))) in
+      go (i + 1) next ((sum -. next) :: acc)
+    end
+  in
+  if n <= 0 then [] else go 1 u []
+
+let random ?(seed = 42) ?(config = default_config) () =
+  if config.n_tasks < 2 then invalid_arg "Generator.random: need >= 2 tasks";
+  if config.n_cores < 2 then invalid_arg "Generator.random: need >= 2 cores";
+  let st = Random.State.make [| seed |] in
+  let pick l = List.nth l (Random.State.int st (List.length l)) in
+  (* tasks round-robin over cores so every core is populated *)
+  let cores = List.init config.n_tasks (fun i -> i mod config.n_cores) in
+  let per_core =
+    List.init config.n_cores (fun k ->
+        List.length (List.filter (Int.equal k) cores))
+  in
+  let utils =
+    List.concat
+      (List.mapi
+         (fun k n -> List.map (fun u -> (k, u)) (uunifast st n config.utilization_per_core))
+         per_core)
+  in
+  let utils_by_core = Array.make config.n_cores [] in
+  List.iter (fun (k, u) -> utils_by_core.(k) <- u :: utils_by_core.(k)) utils;
+  let tasks =
+    List.mapi
+      (fun i core ->
+        let u =
+          match utils_by_core.(core) with
+          | u :: rest ->
+            utils_by_core.(core) <- rest;
+            u
+          | [] -> 0.05
+        in
+        let period = Time.of_ms (pick config.periods_ms) in
+        let wcet =
+          Time.of_ns
+            (max 1000 (int_of_float (u *. float_of_int (Time.to_ns period))))
+        in
+        let wcet = Time.min wcet period in
+        Task.make ~id:i ~name:(Fmt.str "task%d" i) ~period ~wcet ~core)
+      cores
+  in
+  let task_arr = Array.of_list tasks in
+  (* random cross-core edges; each edge gets 1..max_labels_per_edge labels *)
+  let labels = ref [] in
+  let next_label = ref 0 in
+  let edges_made = ref 0 in
+  let attempts = ref 0 in
+  while !edges_made < config.n_edges && !attempts < 100 * config.n_edges do
+    incr attempts;
+    let w = Random.State.int st config.n_tasks in
+    let r = Random.State.int st config.n_tasks in
+    if
+      w <> r
+      && task_arr.(w).Task.core <> task_arr.(r).Task.core
+    then begin
+      let k = 1 + Random.State.int st config.max_labels_per_edge in
+      for _ = 1 to k do
+        let size =
+          config.min_label_bytes
+          + Random.State.int st (config.max_label_bytes - config.min_label_bytes + 1)
+        in
+        labels :=
+          Label.make ~id:!next_label ~name:(Fmt.str "lbl%d" !next_label) ~size
+            ~writer:w ~readers:[ r ]
+          :: !labels;
+        incr next_label
+      done;
+      incr edges_made
+    end
+  done;
+  let platform = Platform.make ~n_cores:config.n_cores () in
+  App.make ~platform ~tasks ~labels:(List.rev !labels)

@@ -1,0 +1,22 @@
+(** Seeded random workload generator for ablations, scaling sweeps and
+    property-based tests. Deterministic for a given seed. *)
+
+open Rt_model
+
+type config = {
+  n_cores : int;
+  n_tasks : int;
+  n_edges : int;  (** cross-core producer/consumer pairs *)
+  periods_ms : int list;
+  min_label_bytes : int;
+  max_label_bytes : int;
+  max_labels_per_edge : int;
+  utilization_per_core : float;
+}
+
+val default_config : config
+
+(** UUniFast utilization shares (exposed for tests). *)
+val uunifast : Random.State.t -> int -> float -> float list
+
+val random : ?seed:int -> ?config:config -> unit -> App.t

@@ -1,0 +1,102 @@
+open Rt_model
+
+(* The WATERS 2019 Industrial Challenge case study (Bosch) used in the
+   paper's evaluation: the nine application tasks of the autonomous-driving
+   prototype, with the challenge's published periods, representative WCETs,
+   a four-core partitioning in the spirit of the challenge solution of
+   Casini et al. [16], and inter-core communication labels spanning the
+   challenge's signal-size range.
+
+   The original Amalthea model is not redistributable here, so WCETs and
+   the label table are hand-encoded approximations (see DESIGN.md,
+   substitution 3). The [labels_per_edge] parameter splits each edge's
+   payload into that many labels, scaling the allocation problem; [scale]
+   multiplies every label size. *)
+
+(* Task indices, in the order of the paper's Fig. 2 X axis. *)
+let lid = 0
+let dasm = 1
+let can = 2
+let ekf = 3
+let plan = 4
+let sfm = 5
+let loc = 6
+let ldet = 7
+let det = 8
+
+let task_names =
+  [| "LID"; "DASM"; "CAN"; "EKF"; "PLAN"; "SFM"; "LOC"; "LDET"; "DET" |]
+
+(* (id, period ms, wcet us, core) *)
+let task_table =
+  [
+    (lid, 33, 6600, 2);
+    (dasm, 5, 1000, 0);
+    (can, 10, 1500, 0);
+    (ekf, 15, 2250, 1);
+    (plan, 15, 3000, 1);
+    (sfm, 33, 8250, 3);
+    (loc, 400, 80000, 3);
+    (ldet, 66, 13200, 2);
+    (det, 200, 40000, 2);
+  ]
+
+(* Directed data flows of the challenge, (writer, reader, payload bytes).
+   Edges between tasks mapped on the same core (EKF -> PLAN, DASM <-> CAN)
+   use double buffering rather than the DMA and are included to exercise
+   that path. *)
+let flow_table =
+  [
+    (can, ekf, 64); (* vehicle status from the CAN bus *)
+    (lid, loc, 131072); (* preprocessed point-cloud features (128 KiB) *)
+    (loc, ekf, 512); (* pose estimate *)
+    (loc, plan, 512); (* pose for planning *)
+    (sfm, plan, 32768); (* occupancy grid (32 KiB) *)
+    (sfm, ldet, 16384); (* image features (16 KiB) *)
+    (ldet, plan, 2048); (* lane boundaries *)
+    (det, plan, 8192); (* detected object list *)
+    (plan, dasm, 256); (* trajectory / actuation commands *)
+    (ekf, plan, 256); (* state estimate (same core: double buffer) *)
+    (dasm, can, 32); (* actuation echo (same core: double buffer) *)
+  ]
+
+let make ?(labels_per_edge = 1) ?(scale = 1.0) ?platform () =
+  if labels_per_edge < 1 then
+    invalid_arg "Waters2019.make: labels_per_edge must be >= 1";
+  if scale <= 0.0 then invalid_arg "Waters2019.make: scale must be positive";
+  let platform =
+    (* TC39x-class scratchpads: 256 KiB per core, comfortably holding the
+       local copies of the camera/lidar-derived payloads *)
+    match platform with
+    | Some p -> p
+    | None -> Platform.make ~n_cores:4 ~local_mem_bytes:(256 * 1024) ()
+  in
+  let tasks =
+    List.map
+      (fun (id, period_ms, wcet_us, core) ->
+        Task.make ~id ~name:task_names.(id) ~period:(Time.of_ms period_ms)
+          ~wcet:(Time.of_us wcet_us) ~core)
+      task_table
+  in
+  let labels =
+    List.concat_map
+      (fun (w, r, bytes) ->
+        let total = max labels_per_edge (int_of_float (float_of_int bytes *. scale)) in
+        let base = total / labels_per_edge in
+        let rem = total mod labels_per_edge in
+        List.init labels_per_edge (fun k ->
+            let size = base + (if k < rem then 1 else 0) in
+            (w, r, size, k)))
+      flow_table
+    |> List.mapi (fun id (w, r, size, k) ->
+           let name =
+             if labels_per_edge = 1 then
+               Fmt.str "%s_%s" task_names.(w) task_names.(r)
+             else Fmt.str "%s_%s_%d" task_names.(w) task_names.(r) k
+           in
+           Label.make ~id ~name ~size ~writer:w ~readers:[ r ])
+  in
+  App.make ~platform ~tasks ~labels
+
+(* Task name in Fig. 2's X-axis order. *)
+let fig2_order = [ lid; dasm; can; ekf; plan; sfm; loc; ldet; det ]

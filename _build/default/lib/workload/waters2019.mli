@@ -1,0 +1,31 @@
+(** The WATERS 2019 Industrial Challenge case study used in the paper's
+    evaluation (Section VII): nine tasks of Bosch's autonomous-driving
+    prototype on a four-core platform, with the challenge's periods and a
+    representative communication-label table (see DESIGN.md on how this
+    substitutes for the non-redistributable Amalthea model). *)
+
+open Rt_model
+
+(** Task ids, in the order of the paper's Fig. 2 X axis. *)
+
+val lid : int
+val dasm : int
+val can : int
+val ekf : int
+val plan : int
+val sfm : int
+val loc : int
+val ldet : int
+val det : int
+
+val task_names : string array
+
+(** [make ()] builds the default case study. [labels_per_edge] splits each
+    data flow into that many labels (scaling the allocation problem);
+    [scale] multiplies payload sizes; [platform] overrides the default
+    4-core platform with the paper's o_DP/o_ISR. *)
+val make :
+  ?labels_per_edge:int -> ?scale:float -> ?platform:Platform.t -> unit -> App.t
+
+(** Task ids in the paper's Fig. 2 plotting order. *)
+val fig2_order : int list

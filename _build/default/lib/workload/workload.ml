@@ -1,0 +1,7 @@
+(** Workloads for the evaluation: the WATERS 2019 industrial case study, a
+    seeded uniform random generator, and an automotive benchmark generator
+    following the WATERS 2015 "real world benchmarks" statistics. *)
+
+module Waters2019 = Waters2019
+module Generator = Generator
+module Automotive = Automotive

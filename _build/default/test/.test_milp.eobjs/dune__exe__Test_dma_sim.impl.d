@@ -1,0 +1,1 @@
+test/test_dma_sim.ml: Alcotest App Comm Dma_sim Giotto Groups Label Let_sem List Platform Properties QCheck QCheck_alcotest Rt_model Sim String Task Time Trace Vcd Workload

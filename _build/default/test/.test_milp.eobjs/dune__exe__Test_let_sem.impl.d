@@ -1,0 +1,1 @@
+test/test_let_sem.ml: Alcotest App Array Comm Eta Fmt Giotto Groups Label Let_sem List Platform Printf Properties QCheck QCheck_alcotest Random Result Rt_model Task Time

@@ -1,0 +1,1 @@
+test/test_let_sem.mli:

@@ -1,0 +1,1 @@
+test/test_mem_layout.ml: Alcotest Allocation App Comm Gen Int Label Layout Let_sem List Mem_layout Platform QCheck QCheck_alcotest Result Rt_model Task Time

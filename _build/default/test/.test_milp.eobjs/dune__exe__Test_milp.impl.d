@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Float Gen List Milp Option Printf QCheck QCheck_alcotest Random Result String

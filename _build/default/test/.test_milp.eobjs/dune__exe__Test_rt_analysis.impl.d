@@ -1,0 +1,1 @@
+test/test_rt_analysis.ml: Alcotest App Array List Option Platform Printf QCheck QCheck_alcotest Rt_analysis Rt_model Rta Sensitivity Task Time Workload

@@ -1,0 +1,1 @@
+test/test_rt_model.ml: Alcotest App Array Fmt Gen Label List Platform Printf QCheck QCheck_alcotest Rt_model Task Time

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest App Array Automotive Float Generator Int Label Let_sem Letdma List Platform QCheck QCheck_alcotest Random Rt_analysis Rt_model Task Time Waters2019 Workload

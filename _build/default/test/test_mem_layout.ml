@@ -1,0 +1,217 @@
+(* Tests for memory layouts and allocations: addresses, adjacency,
+   contiguity, transferability, and plan feasibility. *)
+
+open Rt_model
+open Let_sem
+open Mem_layout
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* 2 cores; t0 on core 0 writes l0 (64B) and l1 (32B) to t1 on core 1;
+   t1 writes l2 (16B) back to t0. *)
+let fixture () =
+  let platform = Platform.make ~n_cores:2 () in
+  let tasks =
+    [
+      Task.make ~id:0 ~name:"t0" ~period:(Time.of_ms 10) ~wcet:(Time.of_ms 1) ~core:0;
+      Task.make ~id:1 ~name:"t1" ~period:(Time.of_ms 10) ~wcet:(Time.of_ms 1) ~core:1;
+    ]
+  in
+  let labels =
+    [
+      Label.make ~id:0 ~name:"l0" ~size:64 ~writer:0 ~readers:[ 1 ];
+      Label.make ~id:1 ~name:"l1" ~size:32 ~writer:0 ~readers:[ 1 ];
+      Label.make ~id:2 ~name:"l2" ~size:16 ~writer:1 ~readers:[ 0 ];
+    ]
+  in
+  App.make ~platform ~tasks ~labels
+
+let test_expected_labels () =
+  let app = fixture () in
+  Alcotest.(check (list int)) "global holds all inter-core" [ 0; 1; 2 ]
+    (List.sort Int.compare (Layout.expected_labels app Platform.Global));
+  Alcotest.(check (list int)) "core 0 copies" [ 0; 1; 2 ]
+    (List.sort Int.compare (Layout.expected_labels app (Platform.Local 0)));
+  Alcotest.(check (list int)) "core 1 copies" [ 0; 1; 2 ]
+    (List.sort Int.compare (Layout.expected_labels app (Platform.Local 1)))
+
+let test_layout_addresses () =
+  let app = fixture () in
+  let l = Layout.of_order app Platform.Global [ 1; 0; 2 ] in
+  check_int "l1 at 0" 0 (Layout.address l 1);
+  check_int "l0 after l1" 32 (Layout.address l 0);
+  check_int "l2 after l0" 96 (Layout.address l 2);
+  check_int "total" 112 (Layout.total_bytes l);
+  check_int "position of l0" 1 (Layout.position l 0);
+  check_int "labels" 3 (Layout.num_labels l)
+
+let test_layout_validation () =
+  let app = fixture () in
+  check_bool "missing label rejected" true
+    (try
+       ignore (Layout.of_order app Platform.Global [ 0; 1 ]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "duplicate label rejected" true
+    (try
+       ignore (Layout.of_order app Platform.Global [ 0; 1; 1 ]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "foreign label position raises" true
+    (try
+       let l = Layout.of_order app Platform.Global [ 0; 1; 2 ] in
+       ignore (Layout.position l 99);
+       false
+     with Invalid_argument _ -> true)
+
+let test_adjacency () =
+  let app = fixture () in
+  let l = Layout.of_order app Platform.Global [ 1; 0; 2 ] in
+  (* AD(a, b): b immediately below a *)
+  check_bool "l1 below l0" true (Layout.adjacent_below l ~a:0 ~b:1);
+  check_bool "l0 below l2" true (Layout.adjacent_below l ~a:2 ~b:0);
+  check_bool "not l0 below l1" false (Layout.adjacent_below l ~a:1 ~b:0);
+  check_bool "not adjacent" false (Layout.adjacent_below l ~a:2 ~b:1)
+
+let test_contiguity () =
+  let app = fixture () in
+  let l = Layout.of_order app Platform.Global [ 1; 0; 2 ] in
+  check_bool "singleton" true (Layout.contiguous l [ 0 ]);
+  check_bool "empty" true (Layout.contiguous l []);
+  check_bool "adjacent pair" true (Layout.contiguous l [ 1; 0 ]);
+  check_bool "whole memory" true (Layout.contiguous l [ 2; 0; 1 ]);
+  check_bool "gap" false (Layout.contiguous l [ 1; 2 ])
+
+let test_transferable () =
+  let app = fixture () in
+  let src = Layout.of_order app (Platform.Local 0) [ 0; 1; 2 ] in
+  let dst_same = Layout.of_order app Platform.Global [ 0; 1; 2 ] in
+  let dst_swapped = Layout.of_order app Platform.Global [ 1; 0; 2 ] in
+  check_bool "same order contiguous" true
+    (Layout.transferable ~src ~dst:dst_same [ 0; 1 ]);
+  check_bool "different order rejected" false
+    (Layout.transferable ~src ~dst:dst_swapped [ 0; 1 ]);
+  (* singletons always transfer *)
+  check_bool "singleton" true (Layout.transferable ~src ~dst:dst_swapped [ 2 ])
+
+let test_allocation_identity () =
+  let app = fixture () in
+  let alloc = Allocation.identity app in
+  check_int "three memories" 3 (List.length (Allocation.memories alloc));
+  let g = Allocation.layout alloc Platform.Global in
+  Alcotest.(check (list int)) "identity order" [ 0; 1; 2 ] (Layout.order g)
+
+let test_allocation_missing_memory () =
+  let app = fixture () in
+  let alloc = Allocation.identity app in
+  check_bool "missing memory raises" true
+    (try
+       ignore (Allocation.layout alloc (Platform.Local 7));
+       false
+     with Invalid_argument _ -> true);
+  check_bool "layout_opt is None" true
+    (Allocation.layout_opt alloc (Platform.Local 7) = None)
+
+let test_plan_feasible () =
+  let app = fixture () in
+  let alloc = Allocation.identity app in
+  (* l0 and l1 are adjacent everywhere under identity order *)
+  let w01 = [ Comm.write ~task:0 ~label:0; Comm.write ~task:0 ~label:1 ] in
+  check_bool "grouped write feasible" true
+    (Result.is_ok (Allocation.plan_feasible app alloc [ w01 ]));
+  (* l0 and l2 are not adjacent (l1 in between) *)
+  let w02 = [ Comm.write ~task:0 ~label:0; Comm.write ~task:1 ~label:2 ] in
+  check_bool "gapped transfer infeasible" true
+    (Result.is_error (Allocation.plan_feasible app alloc [ w02 ]))
+
+let test_transfer_addresses () =
+  let app = fixture () in
+  let alloc = Allocation.identity app in
+  let w01 = [ Comm.write ~task:0 ~label:0; Comm.write ~task:0 ~label:1 ] in
+  let src_addr, dst_addr = Allocation.transfer_addresses app alloc w01 in
+  (* bottom label is l0 at offset 0 in both the local and global layout *)
+  check_int "source address" 0 src_addr;
+  check_int "destination address" 0 dst_addr;
+  let r2 = [ Comm.read ~task:0 ~label:2 ] in
+  let src_addr, _ = Allocation.transfer_addresses app alloc r2 in
+  check_int "l2 offset in global" 96 src_addr;
+  check_bool "empty transfer raises" true
+    (try
+       ignore (Allocation.transfer_addresses app alloc []);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* contiguity equals "positions form an integer interval" *)
+let prop_contiguous_iff_interval =
+  QCheck.Test.make ~name:"contiguous iff positions form an interval" ~count:200
+    QCheck.(pair (int_range 0 5) (list_of_size (Gen.int_range 1 3) (int_range 0 2)))
+    (fun (rot, subset) ->
+      let app = fixture () in
+      let order =
+        match rot mod 3 with
+        | 0 -> [ 0; 1; 2 ]
+        | 1 -> [ 1; 2; 0 ]
+        | _ -> [ 2; 0; 1 ]
+      in
+      let l = Layout.of_order app Platform.Global order in
+      let subset = List.sort_uniq Int.compare subset in
+      let ps = List.sort Int.compare (List.map (Layout.position l) subset) in
+      let is_interval =
+        match ps with
+        | [] -> true
+        | first :: _ ->
+          List.for_all2 ( = ) ps (List.init (List.length ps) (fun i -> first + i))
+      in
+      Layout.contiguous l subset = is_interval)
+
+let prop_addresses_pack_back_to_back =
+  QCheck.Test.make ~name:"addresses are prefix sums of sizes" ~count:100
+    QCheck.(int_range 0 5)
+    (fun rot ->
+      let app = fixture () in
+      let order =
+        match rot mod 3 with
+        | 0 -> [ 0; 1; 2 ]
+        | 1 -> [ 1; 2; 0 ]
+        | _ -> [ 2; 0; 1 ]
+      in
+      let l = Layout.of_order app Platform.Global order in
+      let ok = ref true in
+      let offset = ref 0 in
+      List.iter
+        (fun lbl ->
+          if Layout.address l lbl <> !offset then ok := false;
+          offset := !offset + (App.label app lbl).Label.size)
+        order;
+      !ok && Layout.total_bytes l = !offset)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_contiguous_iff_interval; prop_addresses_pack_back_to_back ]
+  in
+  Alcotest.run "mem_layout"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "expected labels" `Quick test_expected_labels;
+          Alcotest.test_case "addresses" `Quick test_layout_addresses;
+          Alcotest.test_case "validation" `Quick test_layout_validation;
+          Alcotest.test_case "adjacency" `Quick test_adjacency;
+          Alcotest.test_case "contiguity" `Quick test_contiguity;
+          Alcotest.test_case "transferable" `Quick test_transferable;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "identity" `Quick test_allocation_identity;
+          Alcotest.test_case "missing memory" `Quick test_allocation_missing_memory;
+          Alcotest.test_case "plan feasibility" `Quick test_plan_feasible;
+          Alcotest.test_case "transfer addresses" `Quick test_transfer_addresses;
+        ] );
+      ("properties", qsuite);
+    ]

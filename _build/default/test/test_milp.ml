@@ -1,0 +1,962 @@
+(* Tests for the MILP substrate: simplex correctness on hand-checked LPs,
+   branch-and-bound vs. exhaustive enumeration, model-builder helpers. *)
+
+module P = Milp.Problem
+module L = Milp.Linexpr
+module S = Milp.Simplex
+module B = Milp.Branch_bound
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let lp_opt ?bounds p =
+  match S.solve ?bounds p with
+  | S.Optimal { obj; x } -> (obj, x)
+  | S.Infeasible -> Alcotest.fail "unexpected: infeasible"
+  | S.Unbounded -> Alcotest.fail "unexpected: unbounded"
+  | S.Iteration_limit -> Alcotest.fail "unexpected: iteration limit"
+
+(* ------------------------------------------------------------------ *)
+(* Linexpr                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_linexpr_basic () =
+  let e = L.of_list ~const:3.0 [ (2.0, 0); (-1.0, 1) ] in
+  check_float "eval" 6.0 (L.eval e [| 2.0; 1.0 |]);
+  let e2 = L.add e (L.var 1) in
+  check_float "cancelled coeff" 0.0 (L.coeff_of e2 1);
+  Alcotest.(check int) "terms after cancel" 1 (L.num_terms e2);
+  let e3 = L.scale 2.0 e in
+  check_float "scaled const" 6.0 (L.constant e3);
+  check_float "scaled coeff" 4.0 (L.coeff_of e3 0)
+
+let test_linexpr_sub_neg () =
+  let a = L.of_list [ (1.0, 0); (2.0, 1) ] in
+  let b = L.of_list [ (1.0, 0); (-3.0, 2) ] in
+  let d = L.sub a b in
+  check_float "x0 cancels" 0.0 (L.coeff_of d 0);
+  check_float "x1 kept" 2.0 (L.coeff_of d 1);
+  check_float "x2 negated" 3.0 (L.coeff_of d 2)
+
+let test_linexpr_map_vars () =
+  let e = L.of_list [ (1.0, 0); (2.0, 1) ] in
+  (* merge both variables onto id 5 *)
+  let m = L.map_vars (fun _ -> 5) e in
+  check_float "merged" 3.0 (L.coeff_of m 5);
+  Alcotest.(check int) "single term" 1 (L.num_terms m)
+
+(* ------------------------------------------------------------------ *)
+(* Simplex on hand-checked LPs                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* max 3x + 2y  s.t. x + y <= 4, x <= 2, x,y >= 0  ->  (2,2), obj 10 *)
+let test_lp_max_basic () =
+  let p = P.create () in
+  let x = P.continuous ~name:"x" ~lo:0.0 p in
+  let y = P.continuous ~name:"y" ~lo:0.0 p in
+  ignore (P.add_constr p (L.of_list [ (1.0, x); (1.0, y) ]) P.Le 4.0);
+  ignore (P.add_constr p (L.var x) P.Le 2.0);
+  P.set_objective p P.Maximize (L.of_list [ (3.0, x); (2.0, y) ]);
+  let obj, sol = lp_opt p in
+  check_float "objective" 10.0 obj;
+  check_float "x" 2.0 sol.(x);
+  check_float "y" 2.0 sol.(y)
+
+(* min x + y  s.t. x + 2y >= 6, 3x + y >= 8  -> intersection (2,2), obj 4 *)
+let test_lp_min_ge () =
+  let p = P.create () in
+  let x = P.continuous ~name:"x" ~lo:0.0 p in
+  let y = P.continuous ~name:"y" ~lo:0.0 p in
+  ignore (P.add_constr p (L.of_list [ (1.0, x); (2.0, y) ]) P.Ge 6.0);
+  ignore (P.add_constr p (L.of_list [ (3.0, x); (1.0, y) ]) P.Ge 8.0);
+  P.set_objective p P.Minimize (L.of_list [ (1.0, x); (1.0, y) ]);
+  let obj, sol = lp_opt p in
+  check_float "objective" 4.0 obj;
+  check_float "x" 2.0 sol.(x);
+  check_float "y" 2.0 sol.(y)
+
+(* equality constraints: min 2x + 3y s.t. x + y = 10, x - y = 2 -> (6,4) *)
+let test_lp_eq () =
+  let p = P.create () in
+  let x = P.continuous ~name:"x" ~lo:0.0 p in
+  let y = P.continuous ~name:"y" ~lo:0.0 p in
+  ignore (P.add_constr p (L.of_list [ (1.0, x); (1.0, y) ]) P.Eq 10.0);
+  ignore (P.add_constr p (L.of_list [ (1.0, x); (-1.0, y) ]) P.Eq 2.0);
+  P.set_objective p P.Minimize (L.of_list [ (2.0, x); (3.0, y) ]);
+  let obj, sol = lp_opt p in
+  check_float "objective" 24.0 obj;
+  check_float "x" 6.0 sol.(x);
+  check_float "y" 4.0 sol.(y)
+
+let test_lp_infeasible () =
+  let p = P.create () in
+  let x = P.continuous ~lo:0.0 p in
+  ignore (P.add_constr p (L.var x) P.Ge 5.0);
+  ignore (P.add_constr p (L.var x) P.Le 3.0);
+  P.set_objective p P.Minimize (L.var x);
+  (match S.solve p with
+   | S.Infeasible -> ()
+   | _ -> Alcotest.fail "expected infeasible")
+
+let test_lp_unbounded () =
+  let p = P.create () in
+  let x = P.continuous ~lo:0.0 p in
+  let y = P.continuous ~lo:0.0 p in
+  ignore (P.add_constr p (L.of_list [ (1.0, x); (-1.0, y) ]) P.Le 1.0);
+  P.set_objective p P.Maximize (L.of_list [ (1.0, x); (1.0, y) ]);
+  (match S.solve p with
+   | S.Unbounded -> ()
+   | _ -> Alcotest.fail "expected unbounded")
+
+(* upper-bounded variables must not need extra rows: max x + y with
+   x <= 1.5, y <= 2.5 and a single coupling row *)
+let test_lp_upper_bounds () =
+  let p = P.create () in
+  let x = P.continuous ~lo:0.0 ~hi:1.5 p in
+  let y = P.continuous ~lo:0.0 ~hi:2.5 p in
+  ignore (P.add_constr p (L.of_list [ (1.0, x); (1.0, y) ]) P.Le 10.0);
+  P.set_objective p P.Maximize (L.of_list [ (1.0, x); (1.0, y) ]);
+  let obj, sol = lp_opt p in
+  check_float "objective" 4.0 obj;
+  check_float "x at ub" 1.5 sol.(x);
+  check_float "y at ub" 2.5 sol.(y)
+
+(* negative lower bounds and a free variable *)
+let test_lp_shifted_and_free () =
+  let p = P.create () in
+  let x = P.continuous ~lo:(-5.0) ~hi:5.0 p in
+  let y = P.continuous p (* free *) in
+  ignore (P.add_constr p (L.of_list [ (1.0, x); (1.0, y) ]) P.Eq 1.0);
+  ignore (P.add_constr p (L.of_list [ (1.0, y) ]) P.Le 4.0);
+  (* min x  => push x down; x = 1 - y >= 1 - 4 = -3 *)
+  P.set_objective p P.Minimize (L.var x);
+  let obj, sol = lp_opt p in
+  check_float "objective" (-3.0) obj;
+  check_float "x" (-3.0) sol.(x);
+  check_float "y" 4.0 sol.(y)
+
+(* lower bound of -inf with finite upper bound (the Flipped mapping) *)
+let test_lp_flipped_var () =
+  let p = P.create () in
+  let x = P.continuous ~hi:7.0 p in
+  ignore (P.add_constr p (L.var x) P.Ge 2.0);
+  P.set_objective p P.Maximize (L.var x);
+  let obj, _ = lp_opt p in
+  check_float "objective" 7.0 obj
+
+(* degenerate LP that loops without anti-cycling care (Beale-like) *)
+let test_lp_degenerate () =
+  let p = P.create () in
+  let x1 = P.continuous ~lo:0.0 p in
+  let x2 = P.continuous ~lo:0.0 p in
+  let x3 = P.continuous ~lo:0.0 p in
+  let x4 = P.continuous ~lo:0.0 p in
+  ignore
+    (P.add_constr p
+       (L.of_list [ (0.25, x1); (-8.0, x2); (-1.0, x3); (9.0, x4) ])
+       P.Le 0.0);
+  ignore
+    (P.add_constr p
+       (L.of_list [ (0.5, x1); (-12.0, x2); (-0.5, x3); (3.0, x4) ])
+       P.Le 0.0);
+  ignore (P.add_constr p (L.var x3) P.Le 1.0);
+  P.set_objective p P.Maximize
+    (L.of_list [ (0.75, x1); (-20.0, x2); (0.5, x3); (-6.0, x4) ]);
+  let obj, _ = lp_opt p in
+  check_float "objective" 1.25 obj
+
+(* solve with per-node bound overrides, as branch-and-bound does *)
+let test_lp_bounds_override () =
+  let p = P.create () in
+  let x = P.continuous ~lo:0.0 ~hi:10.0 p in
+  P.set_objective p P.Maximize (L.var x);
+  let lo = [| 0.0 |] and hi = [| 3.0 |] in
+  let obj, _ = lp_opt ~bounds:(lo, hi) p in
+  check_float "tightened ub" 3.0 obj;
+  (* contradictory overrides are infeasible *)
+  (match S.solve ~bounds:([| 5.0 |], [| 3.0 |]) p with
+   | S.Infeasible -> ()
+   | _ -> Alcotest.fail "expected infeasible bounds")
+
+(* ------------------------------------------------------------------ *)
+(* Branch and bound                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let milp_opt ?incumbent p =
+  let s = B.solve ?incumbent ~time_limit_s:30.0 p in
+  match (s.B.status, s.B.obj, s.B.x) with
+  | B.Optimal, Some obj, Some x -> (obj, x, s.B.stats)
+  | _ -> Alcotest.fail "expected optimal MILP solution"
+
+(* knapsack: values 10,13,7; weights 5,6,4; cap 10 -> items 2+3 = 20 *)
+let test_milp_knapsack () =
+  let p = P.create () in
+  let xs = List.init 3 (fun i -> P.binary ~name:(Printf.sprintf "b%d" i) p) in
+  let weights = [ 5.0; 6.0; 4.0 ] and values = [ 10.0; 13.0; 7.0 ] in
+  ignore
+    (P.add_constr p
+       (L.of_list (List.map2 (fun w x -> (w, x)) weights xs))
+       P.Le 10.0);
+  P.set_objective p P.Maximize
+    (L.of_list (List.map2 (fun v x -> (v, x)) values xs));
+  let obj, x, _ = milp_opt p in
+  check_float "objective" 20.0 obj;
+  check_float "item0" 0.0 x.(List.nth xs 0);
+  check_float "item1" 1.0 x.(List.nth xs 1);
+  check_float "item2" 1.0 x.(List.nth xs 2)
+
+(* integer rounding matters: max y st y <= 2.5 -> 2 *)
+let test_milp_integer_var () =
+  let p = P.create () in
+  let y = P.integer ~lo:0.0 ~hi:100.0 p in
+  ignore (P.add_constr p (L.var y) P.Le 2.5);
+  P.set_objective p P.Maximize (L.var y);
+  let obj, _, _ = milp_opt p in
+  check_float "objective" 2.0 obj
+
+let test_milp_infeasible_integrality () =
+  let p = P.create () in
+  let x = P.integer ~lo:0.0 ~hi:10.0 p in
+  let y = P.integer ~lo:0.0 ~hi:10.0 p in
+  (* 2x + 2y = 3 has no integer solution *)
+  ignore (P.add_constr p (L.of_list [ (2.0, x); (2.0, y) ]) P.Eq 3.0);
+  P.set_objective p P.Minimize (L.var x);
+  let s = B.solve p in
+  Alcotest.(check bool) "infeasible" true (s.B.status = B.Infeasible)
+
+let test_milp_warm_incumbent () =
+  let p = P.create () in
+  let xs = Array.init 6 (fun i -> P.binary ~name:(Printf.sprintf "w%d" i) p) in
+  ignore
+    (P.add_constr p
+       (L.of_list (Array.to_list (Array.map (fun x -> (3.0, x)) xs)))
+       P.Le 8.0);
+  P.set_objective p P.Maximize
+    (L.of_list (Array.to_list (Array.map (fun x -> (1.0, x)) xs)));
+  (* warm start with a feasible 1-item solution *)
+  let warm = Array.make (P.num_vars p) 0.0 in
+  warm.(xs.(0)) <- 1.0;
+  let obj, _, _ = milp_opt ~incumbent:warm p in
+  check_float "objective" 2.0 obj
+
+(* assignment problem: LP relaxation is integral, B&B should finish at the
+   root. cost matrix 3x3, minimize. *)
+let test_milp_assignment () =
+  let cost = [| [| 4.0; 2.0; 8.0 |]; [| 4.0; 3.0; 7.0 |]; [| 3.0; 1.0; 6.0 |] |] in
+  let p = P.create () in
+  let v = Array.init 3 (fun i -> Array.init 3 (fun j ->
+      P.binary ~name:(Printf.sprintf "a%d%d" i j) p))
+  in
+  for i = 0 to 2 do
+    ignore
+      (P.add_constr p
+         (L.of_list (List.init 3 (fun j -> (1.0, v.(i).(j)))))
+         P.Eq 1.0);
+    ignore
+      (P.add_constr p
+         (L.of_list (List.init 3 (fun j -> (1.0, v.(j).(i)))))
+         P.Eq 1.0)
+  done;
+  let obj_expr =
+    L.sum
+      (List.concat_map
+         (fun i -> List.init 3 (fun j -> L.var ~coeff:cost.(i).(j) v.(i).(j)))
+         [ 0; 1; 2 ])
+  in
+  P.set_objective p P.Minimize obj_expr;
+  let obj, _, _ = milp_opt p in
+  (* optimal: 0->1? enumerate: best is (0,1)=2,(1,0)=4,(2,2)=6 => 12;
+     or (0,0)=4,(1,2)=7,(2,1)=1 => 12; min is 11? check (0,1)=2,(1,2)=7,(2,0)=3 = 12;
+     (0,0)=4,(1,1)=3,(2,2)=6 = 13; (0,2)=8.. best = 12 *)
+  check_float "objective" 12.0 obj
+
+(* ------------------------------------------------------------------ *)
+(* Helpers (big-M, and, max)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_implies_le () =
+  let p = P.create ~big_m:1000.0 () in
+  let b = P.binary ~name:"b" p in
+  let x = P.continuous ~lo:0.0 ~hi:100.0 p in
+  (* b = 1 => x <= 5 ; maximize x + 6 b *)
+  P.add_implies_le p b (L.var x) 5.0;
+  P.set_objective p P.Maximize (L.of_list [ (1.0, x); (6.0, b) ]);
+  let obj, sol, _ = milp_opt p in
+  (* without b: x = 100 -> 100. with b: x <= 5 -> 11. *)
+  check_float "objective" 100.0 obj;
+  check_float "b off" 0.0 sol.(b)
+
+let test_implies_ge () =
+  let p = P.create ~big_m:1000.0 () in
+  let b = P.binary ~name:"b" p in
+  let x = P.continuous ~lo:0.0 ~hi:100.0 p in
+  (* b = 1 => x >= 40; force b = 1; minimize x *)
+  P.add_implies_ge p b (L.var x) 40.0;
+  ignore (P.add_constr p (L.var b) P.Eq 1.0);
+  P.set_objective p P.Minimize (L.var x);
+  let obj, _, _ = milp_opt p in
+  check_float "objective" 40.0 obj
+
+let test_and_exact () =
+  let p = P.create () in
+  let x = P.binary ~name:"x" p in
+  let y = P.binary ~name:"y" p in
+  let z = P.binary ~name:"z" p in
+  P.add_and_exact p z [ x; y ];
+  (* force x = y = 1; then z must be 1. minimize z. *)
+  ignore (P.add_constr p (L.var x) P.Eq 1.0);
+  ignore (P.add_constr p (L.var y) P.Eq 1.0);
+  P.set_objective p P.Minimize (L.var z);
+  let obj, _, _ = milp_opt p in
+  check_float "z forced to 1" 1.0 obj
+
+let test_and_upper_blocks () =
+  let p = P.create () in
+  let x = P.binary ~name:"x" p in
+  let z = P.binary ~name:"z" p in
+  P.add_and_upper p z [ x ];
+  ignore (P.add_constr p (L.var x) P.Eq 0.0);
+  P.set_objective p P.Maximize (L.var z);
+  let obj, _, _ = milp_opt p in
+  check_float "z blocked by x=0" 0.0 obj
+
+let test_max_lower () =
+  let p = P.create () in
+  let a = P.continuous ~lo:3.0 ~hi:3.0 p in
+  let b = P.continuous ~lo:7.0 ~hi:7.0 p in
+  let y = P.continuous ~lo:0.0 ~hi:100.0 p in
+  P.add_max_lower p y [ L.var a; L.var b ];
+  P.set_objective p P.Minimize (L.var y);
+  let obj, _, _ = milp_opt p in
+  check_float "max" 7.0 obj
+
+(* ------------------------------------------------------------------ *)
+(* Model utilities                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_validate () =
+  let p = P.create () in
+  let _x = P.continuous ~lo:0.0 p in
+  ignore (P.add_constr p (L.const 1.0) P.Le 2.0);
+  let _y = P.integer p (* unbounded integer *) in
+  let issues = P.validate p in
+  Alcotest.(check int) "two issues" 2 (List.length issues)
+
+let test_check_solution () =
+  let p = P.create () in
+  let x = P.binary ~name:"x" p in
+  let y = P.continuous ~lo:0.0 ~hi:4.0 p in
+  ignore (P.add_constr ~name:"cap" p (L.of_list [ (2.0, x); (1.0, y) ]) P.Le 3.0);
+  Alcotest.(check (list string)) "feasible" [] (P.check_solution p [| 1.0; 1.0 |]);
+  Alcotest.(check bool) "constraint violated" true
+    (List.mem "cap" (P.check_solution p [| 1.0; 2.0 |]));
+  Alcotest.(check bool) "integrality violated" true
+    (P.check_solution p [| 0.5; 0.0 |] <> [])
+
+let test_lp_export () =
+  let p = P.create () in
+  let x = P.binary ~name:"x" p in
+  let y = P.integer ~name:"y" ~lo:0.0 ~hi:9.0 p in
+  ignore (P.add_constr ~name:"row" p (L.of_list [ (1.0, x); (2.0, y) ]) P.Le 5.0);
+  P.set_objective p P.Maximize (L.of_list [ (1.0, x); (1.0, y) ]);
+  let s = P.to_lp_string p in
+  Alcotest.(check bool) "has Maximize" true
+    (contains s "Maximize");
+  Alcotest.(check bool) "has row" true (contains s "row:");
+  Alcotest.(check bool) "has Binaries" true
+    (contains s "Binaries");
+  Alcotest.(check bool) "has Generals" true
+    (contains s "Generals")
+
+(* ------------------------------------------------------------------ *)
+(* Simplex core: persistent state, bound moves, dual repair            *)
+(* ------------------------------------------------------------------ *)
+
+module C = Milp.Simplex_core
+
+(* max x + y st x + y <= 6, x <= 4, y <= 4 -> (4, 2) or (2, 4), obj 6 *)
+let core_problem () =
+  let p = P.create () in
+  let x = P.continuous ~name:"x" ~lo:0.0 ~hi:4.0 p in
+  let y = P.continuous ~name:"y" ~lo:0.0 ~hi:4.0 p in
+  ignore (P.add_constr p (L.of_list [ (1.0, x); (1.0, y) ]) P.Le 6.0);
+  P.set_objective p P.Maximize (L.of_list [ (2.0, x); (1.0, y) ]);
+  (p, x, y)
+
+let solved_core p =
+  match C.build p with
+  | None -> Alcotest.fail "build failed"
+  | Some tb ->
+    (match C.phase1 tb ~max_iters:10_000 ~deadline:infinity with
+     | `Feasible ->
+       C.install_objective tb;
+       (match C.phase2 tb ~max_iters:10_000 ~deadline:infinity with
+        | `Optimal -> tb
+        | _ -> Alcotest.fail "phase2 failed")
+     | _ -> Alcotest.fail "phase1 failed")
+
+let test_core_solve_and_extract () =
+  let p, x, y = core_problem () in
+  let tb = solved_core p in
+  (* max 2x + y: x = 4, y = 2, obj = 10 *)
+  check_float "objective" 10.0 (C.objective_value tb);
+  let sol = C.solution tb in
+  check_float "x" 4.0 sol.(x);
+  check_float "y" 2.0 sol.(y)
+
+let test_core_bound_move_and_dual_repair () =
+  let p, x, y = core_problem () in
+  let tb = solved_core p in
+  (* tighten x <= 1: new optimum x = 1, y = 4, obj = 6 *)
+  C.set_var_bounds tb x ~lo:0.0 ~hi:1.0;
+  (match C.dual_restore tb ~max_iters:1_000 ~deadline:infinity with
+   | `Feasible -> ()
+   | `Infeasible -> Alcotest.fail "unexpected infeasible"
+   | `Limit -> Alcotest.fail "unexpected limit");
+  check_float "objective after repair" 6.0 (C.objective_value tb);
+  let sol = C.solution tb in
+  check_float "x after repair" 1.0 sol.(x);
+  check_float "y after repair" 4.0 sol.(y);
+  (* relax it back: original optimum returns *)
+  C.set_var_bounds tb x ~lo:0.0 ~hi:4.0;
+  (match C.dual_restore tb ~max_iters:1_000 ~deadline:infinity with
+   | `Feasible -> ()
+   | _ -> Alcotest.fail "repair after relaxation failed");
+  (* relaxing restores primal feasibility but the entering prices may now
+     be improvable: bound moves keep dual feasibility, so the solution is
+     optimal again *)
+  check_float "objective restored" 10.0 (C.objective_value tb)
+
+let test_core_bound_move_infeasible () =
+  let p = P.create () in
+  let x = P.continuous ~name:"cx" ~lo:0.0 ~hi:10.0 p in
+  ignore (P.add_constr p (L.var x) P.Ge 5.0);
+  P.set_objective p P.Minimize (L.var x);
+  let tb = solved_core p in
+  check_float "base optimum" 5.0 (C.objective_value tb);
+  (* force x <= 2: conflicts with x >= 5 *)
+  C.set_var_bounds tb x ~lo:0.0 ~hi:2.0;
+  (match C.dual_restore tb ~max_iters:1_000 ~deadline:infinity with
+   | `Infeasible -> ()
+   | `Feasible -> Alcotest.fail "expected infeasible"
+   | `Limit -> Alcotest.fail "unexpected limit")
+
+let test_core_var_bounds_of () =
+  let p, x, _ = core_problem () in
+  let tb = solved_core p in
+  Alcotest.(check (pair (float 1e-9) (float 1e-9))) "initial" (0.0, 4.0)
+    (C.var_bounds_of tb x);
+  C.set_var_bounds tb x ~lo:1.0 ~hi:3.0;
+  Alcotest.(check (pair (float 1e-9) (float 1e-9))) "moved" (1.0, 3.0)
+    (C.var_bounds_of tb x)
+
+let test_feasibility_shortcut () =
+  let p = P.create () in
+  let x = P.binary ~name:"fs" p in
+  ignore (P.add_constr p (L.var x) P.Le 1.0);
+  (* constant objective + feasible incumbent -> immediate optimal *)
+  let s = Option.get (B.feasibility_shortcut p (Some [| 1.0 |])) in
+  Alcotest.(check bool) "optimal" true (s.B.status = B.Optimal);
+  (* infeasible incumbent -> no shortcut *)
+  Alcotest.(check bool) "no shortcut for bad incumbent" true
+    (B.feasibility_shortcut p (Some [| 2.0 |]) = None);
+  (* non-constant objective -> no shortcut *)
+  P.set_objective p P.Maximize (L.var x);
+  Alcotest.(check bool) "no shortcut with objective" true
+    (B.feasibility_shortcut p (Some [| 1.0 |]) = None)
+
+(* ------------------------------------------------------------------ *)
+(* LP file round trip                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_lp_parse_simple () =
+  let text =
+    "Minimize\n obj: 2 x + 3 y\nSubject To\n c1: x + y >= 4\n c2: x - y <= 2\n\
+     Bounds\n 0 <= x <= 10\n 0 <= y <= 10\nEnd\n"
+  in
+  match Milp.Lp_file.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    Alcotest.(check int) "two vars" 2 (P.num_vars p);
+    Alcotest.(check int) "two constraints" 2 (P.num_constrs p);
+    (match S.solve p with
+     | S.Optimal { obj; _ } ->
+       (* optimum of min 2x+3y st x+y>=4, x-y<=2: at (3,1): 9; at (4,0)? 8
+          but x-y=4 > 2 violates; at (3,1): 6+3=9 *)
+       check_float "objective" 9.0 obj
+     | _ -> Alcotest.fail "expected optimal")
+
+let test_lp_parse_binaries_and_free () =
+  let text =
+    "Maximize\n obj: z + w\nSubject To\n c: z + 0.5 w <= 1.2\nBounds\n\
+     w free\nBinaries\n z\nEnd\n"
+  in
+  match Milp.Lp_file.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    Alcotest.(check bool) "z is binary" true
+      (let found = ref false in
+       P.iter_vars
+         (fun v kind _ -> if P.var_name p v = "z" && kind = P.Binary then found := true)
+         p;
+       !found);
+    (* max z + w st z + 0.5 w <= 1.2: w <= 2.4 - 2z, so obj <= 2.4 - z,
+       best at z = 0 with w = 2.4 *)
+    (match S.solve p with
+     | S.Optimal { obj; _ } -> check_float "objective" 2.4 obj
+     | _ -> Alcotest.fail "expected optimal")
+
+let test_lp_parse_errors () =
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Milp.Lp_file.of_string "Minimize\n obj: ~~~\nEnd\n"));
+  Alcotest.(check bool) "missing relation rejected" true
+    (Result.is_error
+       (Milp.Lp_file.of_string "Minimize\n obj: x\nSubject To\n c: x 5\nEnd\n"))
+
+let test_lp_roundtrip_hand () =
+  let p = P.create () in
+  let x = P.binary ~name:"x" p in
+  let y = P.integer ~name:"y" ~lo:0.0 ~hi:9.0 p in
+  let z = P.continuous ~name:"z" ~lo:(-2.5) ~hi:4.0 p in
+  ignore (P.add_constr ~name:"r1" p (L.of_list [ (1.0, x); (2.0, y); (-1.0, z) ]) P.Le 7.0);
+  ignore (P.add_constr ~name:"r2" p (L.of_list [ (3.0, y); (1.0, z) ]) P.Ge 1.0);
+  P.set_objective p P.Maximize (L.of_list [ (5.0, x); (1.0, y); (0.5, z) ]);
+  let text = Milp.Lp_file.to_string p in
+  match Milp.Lp_file.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok q ->
+    Alcotest.(check int) "vars" (P.num_vars p) (P.num_vars q);
+    Alcotest.(check int) "constraints" (P.num_constrs p) (P.num_constrs q);
+    (match (B.solve ~time_limit_s:10.0 p, B.solve ~time_limit_s:10.0 q) with
+     | { B.obj = Some a; _ }, { B.obj = Some b; _ } ->
+       check_float "same optimum" a b
+     | _ -> Alcotest.fail "expected both optimal")
+
+(* ------------------------------------------------------------------ *)
+(* Presolve                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Pre = Milp.Presolve
+
+let test_presolve_tightens_and_drops () =
+  let p = P.create () in
+  let x = P.continuous ~name:"x" ~lo:0.0 ~hi:100.0 p in
+  let y = P.integer ~name:"y" ~lo:0.0 ~hi:100.0 p in
+  (* x <= 7.5 is a singleton row: absorbed into the bound *)
+  ignore (P.add_constr ~name:"sx" p (L.var x) P.Le 7.5);
+  (* 2y <= 9 -> y <= 4.5 -> integral: y <= 4 *)
+  ignore (P.add_constr ~name:"sy" p (L.var ~coeff:2.0 y) P.Le 9.0);
+  (* x + y <= 1000 is redundant once bounds are tight *)
+  ignore (P.add_constr ~name:"red" p (L.of_list [ (1.0, x); (1.0, y) ]) P.Le 1000.0);
+  P.set_objective p P.Maximize (L.of_list [ (1.0, x); (1.0, y) ]);
+  match Pre.run p with
+  | Pre.Infeasible _, _ -> Alcotest.fail "unexpected infeasible"
+  | Pre.Reduced q, stats ->
+    Alcotest.(check bool) "rows dropped" true (stats.Pre.rows_dropped >= 1);
+    let _, hi_x = P.var_bounds q x in
+    let _, hi_y = P.var_bounds q y in
+    check_float "x tightened" 7.5 hi_x;
+    check_float "y tightened and rounded" 4.0 hi_y;
+    (* same optimum on both problems *)
+    (match (B.solve ~time_limit_s:10.0 p, B.solve ~time_limit_s:10.0 q) with
+     | { B.obj = Some a; _ }, { B.obj = Some b; _ } -> check_float "optimum" a b
+     | _ -> Alcotest.fail "expected optimal")
+
+let test_presolve_detects_infeasible () =
+  let p = P.create () in
+  let x = P.continuous ~name:"x" ~lo:0.0 ~hi:1.0 p in
+  let y = P.continuous ~name:"y" ~lo:0.0 ~hi:1.0 p in
+  ignore (P.add_constr ~name:"imposs" p (L.of_list [ (1.0, x); (1.0, y) ]) P.Ge 5.0);
+  P.set_objective p P.Minimize (L.var x);
+  (match Pre.run p with
+   | Pre.Infeasible name, _ -> Alcotest.(check string) "witness" "imposs" name
+   | Pre.Reduced _, _ -> Alcotest.fail "expected infeasible")
+
+let test_presolve_fixes_binaries () =
+  let p = P.create () in
+  let a = P.binary ~name:"a" p in
+  let b = P.binary ~name:"b" p in
+  (* a + b >= 2 forces both to 1 *)
+  ignore (P.add_constr p (L.of_list [ (1.0, a); (1.0, b) ]) P.Ge 2.0);
+  P.set_objective p P.Minimize (L.of_list [ (1.0, a); (1.0, b) ]);
+  match Pre.run p with
+  | Pre.Infeasible _, _ -> Alcotest.fail "unexpected infeasible"
+  | Pre.Reduced q, _ ->
+    let lo_a, _ = P.var_bounds q a in
+    let lo_b, _ = P.var_bounds q b in
+    check_float "a fixed to 1" 1.0 lo_a;
+    check_float "b fixed to 1" 1.0 lo_b
+
+let prop_presolve_preserves_optimum =
+  QCheck.Test.make ~name:"presolve preserves the optimum" ~count:40
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let n = 3 + Random.State.int st 5 in
+      let p = P.create () in
+      let xs =
+        Array.init n (fun i ->
+            if Random.State.bool st then P.binary ~name:(Printf.sprintf "pb%d" i) p
+            else
+              P.integer ~name:(Printf.sprintf "pi%d" i) ~lo:0.0
+                ~hi:(float_of_int (1 + Random.State.int st 9))
+                p)
+      in
+      for r = 0 to 2 do
+        let expr =
+          Array.fold_left
+            (fun acc x ->
+              L.add_term acc (float_of_int (Random.State.int st 9 - 3)) x)
+            L.zero xs
+        in
+        if not (L.is_constant expr) then
+          ignore
+            (P.add_constr ~name:(Printf.sprintf "pr%d" r) p expr
+               (if Random.State.bool st then P.Le else P.Ge)
+               (float_of_int (Random.State.int st 20 - 5)))
+      done;
+      P.set_objective p P.Maximize
+        (L.of_list
+           (Array.to_list
+              (Array.map (fun x -> (float_of_int (1 + Random.State.int st 5), x)) xs)));
+      let a = B.solve ~time_limit_s:10.0 p in
+      match Pre.run p with
+      | Pre.Infeasible _, _ ->
+        (* presolve infeasibility must agree with the solver *)
+        a.B.status = B.Infeasible
+      | Pre.Reduced q, _ ->
+        let b = B.solve ~time_limit_s:10.0 q in
+        (match (a.B.obj, b.B.obj) with
+         | Some oa, Some ob -> Float.abs (oa -. ob) < 1.0e-6
+         | None, None -> true
+         | _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Exhaustive 0/1 enumeration oracle for small binary MILPs. *)
+let enumerate_best ~n ~feasible ~value =
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun i -> if mask land (1 lsl i) <> 0 then 1.0 else 0.0) in
+    if feasible x then begin
+      let v = value x in
+      match !best with
+      | None -> best := Some v
+      | Some b -> if v > b then best := Some v
+    end
+  done;
+  !best
+
+let prop_knapsack_matches_bruteforce =
+  QCheck.Test.make ~name:"bb matches brute force on random knapsacks" ~count:60
+    QCheck.(
+      pair (int_range 1 8)
+        (pair (list_of_size (Gen.return 8) (int_range 1 20))
+           (list_of_size (Gen.return 8) (int_range 1 20))))
+    (fun (cap_scale, (weights, values)) ->
+      let n = min (List.length weights) (List.length values) in
+      QCheck.assume (n > 0);
+      let weights = Array.of_list (List.filteri (fun i _ -> i < n) weights) in
+      let values = Array.of_list (List.filteri (fun i _ -> i < n) values) in
+      let cap = float_of_int (cap_scale * 8) in
+      let p = P.create () in
+      let xs = Array.init n (fun i -> P.binary ~name:(Printf.sprintf "k%d" i) p) in
+      ignore
+        (P.add_constr p
+           (L.of_list
+              (Array.to_list
+                 (Array.mapi (fun i x -> (float_of_int weights.(i), x)) xs)))
+           P.Le cap);
+      P.set_objective p P.Maximize
+        (L.of_list
+           (Array.to_list
+              (Array.mapi (fun i x -> (float_of_int values.(i), x)) xs)));
+      let s = B.solve ~time_limit_s:10.0 p in
+      let expected =
+        enumerate_best ~n
+          ~feasible:(fun x ->
+            let w = ref 0.0 in
+            Array.iteri (fun i v -> w := !w +. (v *. float_of_int weights.(i))) x;
+            !w <= cap +. 1e-9)
+          ~value:(fun x ->
+            let v = ref 0.0 in
+            Array.iteri (fun i b -> v := !v +. (b *. float_of_int values.(i))) x;
+            !v)
+      in
+      match (s.B.status, s.B.obj, expected) with
+      | B.Optimal, Some obj, Some e -> Float.abs (obj -. e) < 1e-6
+      | B.Infeasible, _, None -> true
+      | _ -> false)
+
+let prop_random_lp_solution_feasible =
+  QCheck.Test.make ~name:"simplex optimum satisfies all constraints" ~count:80
+    QCheck.(
+      list_of_size (Gen.int_range 1 6)
+        (list_of_size (Gen.return 4) (int_range (-5) 5)))
+    (fun rows ->
+      QCheck.assume (rows <> []);
+      let p = P.create () in
+      let xs = Array.init 4 (fun i -> P.continuous ~name:(Printf.sprintf "v%d" i) ~lo:0.0 ~hi:10.0 p) in
+      List.iteri
+        (fun r coeffs ->
+          let coeffs = Array.of_list coeffs in
+          let expr =
+            L.of_list
+              (Array.to_list
+                 (Array.mapi (fun i c -> (float_of_int c, xs.(i))) coeffs))
+          in
+          ignore
+            (P.add_constr ~name:(Printf.sprintf "r%d" r) p expr P.Le
+               (float_of_int (10 + r))))
+        rows;
+      P.set_objective p P.Maximize
+        (L.of_list (Array.to_list (Array.map (fun x -> (1.0, x)) xs)));
+      match S.solve p with
+      | S.Optimal { x; _ } -> P.check_solution ~eps:1e-5 p x = []
+      | S.Infeasible -> false (* box-bounded with x = 0 feasible: rows rhs > 0 *)
+      | S.Unbounded -> false (* impossible: box-bounded *)
+      | S.Iteration_limit -> false)
+
+(* the DFS diving solver and the best-first reference must agree *)
+let prop_dfs_matches_best_first =
+  QCheck.Test.make ~name:"dfs solver matches best-first on random MILPs"
+    ~count:30
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let n = 4 + Random.State.int st 7 in
+      let p = P.create () in
+      let xs =
+        Array.init n (fun i -> P.binary ~name:(Printf.sprintf "d%d" i) p)
+      in
+      let y = P.integer ~name:"y" ~lo:0.0 ~hi:6.0 p in
+      for r = 0 to 2 do
+        let expr =
+          Array.fold_left
+            (fun acc x ->
+              L.add_term acc (float_of_int (1 + Random.State.int st 9)) x)
+            (L.var ~coeff:2.0 y) xs
+        in
+        ignore
+          (P.add_constr ~name:(Printf.sprintf "dr%d" r) p expr P.Le
+             (float_of_int (8 + Random.State.int st (3 * n))))
+      done;
+      ignore (P.add_constr p (L.add (L.var xs.(0)) (L.var y)) P.Ge 1.0);
+      let obj =
+        Array.fold_left
+          (fun acc x ->
+            L.add_term acc (float_of_int (1 + Random.State.int st 9)) x)
+          (L.var ~coeff:3.0 y) xs
+      in
+      P.set_objective p P.Maximize obj;
+      let a = B.solve ~time_limit_s:15.0 p in
+      let b = Milp.Dfs_solver.solve ~time_limit_s:15.0 p in
+      match (a.B.obj, b.B.obj) with
+      | Some oa, Some ob -> Float.abs (oa -. ob) < 1.0e-6
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+
+let test_dfs_warm_incumbent () =
+  let p = P.create () in
+  let xs = Array.init 5 (fun i -> P.binary ~name:(Printf.sprintf "wd%d" i) p) in
+  ignore
+    (P.add_constr p
+       (L.of_list (Array.to_list (Array.map (fun x -> (2.0, x)) xs)))
+       P.Le 5.0);
+  P.set_objective p P.Maximize
+    (L.of_list (Array.to_list (Array.map (fun x -> (1.0, x)) xs)));
+  let warm = Array.make (P.num_vars p) 0.0 in
+  warm.(xs.(0)) <- 1.0;
+  let s = Milp.Dfs_solver.solve ~time_limit_s:10.0 ~incumbent:warm p in
+  Alcotest.(check bool) "optimal" true (s.B.status = B.Optimal);
+  check_float "objective" 2.0 (Option.get s.B.obj)
+
+let test_dfs_infeasible () =
+  let p = P.create () in
+  let x = P.integer ~lo:0.0 ~hi:10.0 p in
+  let y = P.integer ~lo:0.0 ~hi:10.0 p in
+  ignore (P.add_constr p (L.of_list [ (2.0, x); (2.0, y) ]) P.Eq 3.0);
+  P.set_objective p P.Minimize (L.var x);
+  let s = Milp.Dfs_solver.solve ~time_limit_s:10.0 p in
+  Alcotest.(check bool) "infeasible" true (s.B.status = B.Infeasible)
+
+let test_dfs_fallback_on_unbounded_integer () =
+  let p = P.create () in
+  let x = P.integer ~lo:0.0 p (* unbounded above *) in
+  ignore (P.add_constr p (L.var x) P.Le 4.5);
+  P.set_objective p P.Maximize (L.var x);
+  let s = Milp.Dfs_solver.solve ~time_limit_s:10.0 p in
+  check_float "falls back and solves" 4.0 (Option.get s.B.obj)
+
+let prop_lp_roundtrip =
+  QCheck.Test.make ~name:"LP write/parse round trip preserves the optimum"
+    ~count:40
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let n = 3 + Random.State.int st 4 in
+      let p = P.create () in
+      let xs =
+        Array.init n (fun i ->
+            match Random.State.int st 3 with
+            | 0 -> P.binary ~name:(Printf.sprintf "rb%d" i) p
+            | 1 ->
+              P.integer ~name:(Printf.sprintf "ri%d" i) ~lo:0.0
+                ~hi:(float_of_int (1 + Random.State.int st 8))
+                p
+            | _ ->
+              P.continuous ~name:(Printf.sprintf "rc%d" i) ~lo:0.0
+                ~hi:(float_of_int (1 + Random.State.int st 20))
+                p)
+      in
+      for r = 0 to 1 + Random.State.int st 2 do
+        let expr =
+          Array.fold_left
+            (fun acc x ->
+              L.add_term acc (float_of_int (Random.State.int st 9 - 4)) x)
+            L.zero xs
+        in
+        if not (L.is_constant expr) then
+          ignore
+            (P.add_constr ~name:(Printf.sprintf "rr%d" r) p expr P.Le
+               (float_of_int (Random.State.int st 30)))
+      done;
+      P.set_objective p P.Maximize
+        (L.of_list
+           (Array.to_list
+              (Array.map (fun x -> (float_of_int (1 + Random.State.int st 5), x)) xs)));
+      match Milp.Lp_file.of_string (Milp.Lp_file.to_string p) with
+      | Error _ -> false
+      | Ok q ->
+        P.num_vars q = P.num_vars p
+        && P.num_constrs q = P.num_constrs p
+        &&
+        let a = B.solve ~time_limit_s:10.0 p in
+        let b = B.solve ~time_limit_s:10.0 q in
+        (match (a.B.obj, b.B.obj) with
+         | Some oa, Some ob -> Float.abs (oa -. ob) < 1.0e-6
+         | None, None -> true
+         | _ -> false))
+
+let prop_bb_obj_never_beats_lp_bound =
+  QCheck.Test.make ~name:"MILP optimum never beats its LP relaxation" ~count:40
+    QCheck.(list_of_size (Gen.return 6) (pair (int_range 1 15) (int_range 1 15)))
+    (fun items ->
+      QCheck.assume (items <> []);
+      let n = List.length items in
+      let p = P.create () in
+      let xs = Array.init n (fun i -> P.binary ~name:(Printf.sprintf "z%d" i) p) in
+      let weights = Array.of_list (List.map (fun (w, _) -> float_of_int w) items) in
+      let values = Array.of_list (List.map (fun (_, v) -> float_of_int v) items) in
+      ignore
+        (P.add_constr p
+           (L.of_list
+              (Array.to_list (Array.mapi (fun i x -> (weights.(i), x)) xs)))
+           P.Le 30.0);
+      P.set_objective p P.Maximize
+        (L.of_list (Array.to_list (Array.mapi (fun i x -> (values.(i), x)) xs)));
+      let lp =
+        match S.solve p with
+        | S.Optimal { obj; _ } -> obj
+        | _ -> QCheck.assume_fail ()
+      in
+      let s = B.solve ~time_limit_s:10.0 p in
+      match (s.B.status, s.B.obj) with
+      | B.Optimal, Some obj -> obj <= lp +. 1e-6
+      | _ -> false)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_knapsack_matches_bruteforce;
+        prop_random_lp_solution_feasible;
+        prop_bb_obj_never_beats_lp_bound;
+        prop_dfs_matches_best_first;
+        prop_lp_roundtrip;
+        prop_presolve_preserves_optimum;
+      ]
+  in
+  Alcotest.run "milp"
+    [
+      ( "linexpr",
+        [
+          Alcotest.test_case "basic ops" `Quick test_linexpr_basic;
+          Alcotest.test_case "sub/neg" `Quick test_linexpr_sub_neg;
+          Alcotest.test_case "map_vars" `Quick test_linexpr_map_vars;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "max basic" `Quick test_lp_max_basic;
+          Alcotest.test_case "min with >=" `Quick test_lp_min_ge;
+          Alcotest.test_case "equalities" `Quick test_lp_eq;
+          Alcotest.test_case "infeasible" `Quick test_lp_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_lp_unbounded;
+          Alcotest.test_case "upper bounds" `Quick test_lp_upper_bounds;
+          Alcotest.test_case "shifted and free vars" `Quick test_lp_shifted_and_free;
+          Alcotest.test_case "flipped var" `Quick test_lp_flipped_var;
+          Alcotest.test_case "degenerate (Beale)" `Quick test_lp_degenerate;
+          Alcotest.test_case "bound overrides" `Quick test_lp_bounds_override;
+        ] );
+      ( "branch-and-bound",
+        [
+          Alcotest.test_case "knapsack" `Quick test_milp_knapsack;
+          Alcotest.test_case "integer var" `Quick test_milp_integer_var;
+          Alcotest.test_case "integrality infeasible" `Quick
+            test_milp_infeasible_integrality;
+          Alcotest.test_case "warm incumbent" `Quick test_milp_warm_incumbent;
+          Alcotest.test_case "assignment" `Quick test_milp_assignment;
+        ] );
+      ( "dfs-solver",
+        [
+          Alcotest.test_case "warm incumbent" `Quick test_dfs_warm_incumbent;
+          Alcotest.test_case "infeasible" `Quick test_dfs_infeasible;
+          Alcotest.test_case "fallback on unbounded integer" `Quick
+            test_dfs_fallback_on_unbounded_integer;
+        ] );
+      ( "helpers",
+        [
+          Alcotest.test_case "implies <=" `Quick test_implies_le;
+          Alcotest.test_case "implies >=" `Quick test_implies_ge;
+          Alcotest.test_case "and exact" `Quick test_and_exact;
+          Alcotest.test_case "and upper blocks" `Quick test_and_upper_blocks;
+          Alcotest.test_case "max lower" `Quick test_max_lower;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "check_solution" `Quick test_check_solution;
+          Alcotest.test_case "LP export" `Quick test_lp_export;
+        ] );
+      ( "simplex-core",
+        [
+          Alcotest.test_case "solve and extract" `Quick test_core_solve_and_extract;
+          Alcotest.test_case "bound move + dual repair" `Quick
+            test_core_bound_move_and_dual_repair;
+          Alcotest.test_case "bound move to infeasible" `Quick
+            test_core_bound_move_infeasible;
+          Alcotest.test_case "var bounds tracking" `Quick test_core_var_bounds_of;
+          Alcotest.test_case "feasibility shortcut" `Quick test_feasibility_shortcut;
+        ] );
+      ( "presolve",
+        [
+          Alcotest.test_case "tighten and drop" `Quick test_presolve_tightens_and_drops;
+          Alcotest.test_case "detect infeasible" `Quick test_presolve_detects_infeasible;
+          Alcotest.test_case "fix binaries" `Quick test_presolve_fixes_binaries;
+        ] );
+      ( "lp-file",
+        [
+          Alcotest.test_case "parse simple" `Quick test_lp_parse_simple;
+          Alcotest.test_case "binaries and free vars" `Quick
+            test_lp_parse_binaries_and_free;
+          Alcotest.test_case "parse errors" `Quick test_lp_parse_errors;
+          Alcotest.test_case "round trip" `Quick test_lp_roundtrip_hand;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,181 @@
+(* Tests for response-time analysis and the sensitivity procedure. *)
+
+open Rt_model
+open Rt_analysis
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ms = Time.of_ms
+
+(* classic example: C = (1, 2, 3), T = (4, 8, 16) on one core.
+   R1 = 1; R2 = 2 + 1*ceil(3/4)... fixpoint: R2 = 3 (2 + 1); R3: 3 + ... *)
+let classic () =
+  let platform = Platform.make ~n_cores:1 () in
+  let tasks =
+    [
+      Task.make ~id:0 ~name:"a" ~period:(ms 4) ~wcet:(ms 1) ~core:0;
+      Task.make ~id:1 ~name:"b" ~period:(ms 8) ~wcet:(ms 2) ~core:0;
+      Task.make ~id:2 ~name:"c" ~period:(ms 16) ~wcet:(ms 3) ~core:0;
+    ]
+  in
+  App.make ~platform ~tasks ~labels:[]
+
+let test_rta_classic () =
+  let app = classic () in
+  let jitter = Rta.no_jitter app in
+  check_int "R(a)" (ms 1) (Option.get (Rta.response_time app ~jitter 0));
+  check_int "R(b)" (ms 3) (Option.get (Rta.response_time app ~jitter 1));
+  (* R(c) = 3 + ceil(R/4)*1 + ceil(R/8)*2: R=6 -> 3+2+2=7 -> 3+2+2=7:
+     check 7: ceil(7/4)=2, ceil(7/8)=1 -> 3+2+2 = 7. *)
+  check_int "R(c)" (ms 7) (Option.get (Rta.response_time app ~jitter 2))
+
+let test_rta_priority_order () =
+  let app = classic () in
+  let a = App.task app 0 and b = App.task app 1 in
+  check_bool "shorter period wins" true (Rta.higher_priority a b);
+  check_bool "tie broken by id" true
+    (Rta.higher_priority a
+       (Task.make ~id:5 ~name:"x" ~period:(ms 4) ~wcet:(ms 1) ~core:0))
+
+let test_rta_jitter_effect () =
+  let app = classic () in
+  let jitter = Rta.no_jitter app in
+  jitter.(0) <- ms 1;
+  (* task b now sees up to ceil((R + 1)/4) interfering jobs of a *)
+  let r_b = Option.get (Rta.response_time app ~jitter 1) in
+  check_bool "jitter increases interference" true (r_b >= ms 3)
+
+let test_rta_unschedulable () =
+  let platform = Platform.make ~n_cores:1 () in
+  let tasks =
+    [
+      Task.make ~id:0 ~name:"hog" ~period:(ms 4) ~wcet:(ms 3) ~core:0;
+      Task.make ~id:1 ~name:"late" ~period:(ms 8) ~wcet:(ms 4) ~core:0;
+    ]
+  in
+  let app = App.make ~platform ~tasks ~labels:[] in
+  let jitter = Rta.no_jitter app in
+  check_bool "hog fits" true (Rta.response_time app ~jitter 0 <> None);
+  check_bool "late does not" true (Rta.response_time app ~jitter 1 = None);
+  check_bool "system unschedulable" false (Rta.schedulable app ~jitter)
+
+let test_rta_partitioned_isolation () =
+  (* tasks on different cores do not interfere *)
+  let platform = Platform.make ~n_cores:2 () in
+  let tasks =
+    [
+      Task.make ~id:0 ~name:"a" ~period:(ms 4) ~wcet:(ms 3) ~core:0;
+      Task.make ~id:1 ~name:"b" ~period:(ms 4) ~wcet:(ms 3) ~core:1;
+    ]
+  in
+  let app = App.make ~platform ~tasks ~labels:[] in
+  let jitter = Rta.no_jitter app in
+  check_int "R(b) without cross-core interference" (ms 3)
+    (Option.get (Rta.response_time app ~jitter 1));
+  check_bool "schedulable" true (Rta.schedulable app ~jitter)
+
+let test_slack () =
+  let app = classic () in
+  check_int "S(a)" (ms 3) (Option.get (Rta.slack app 0));
+  check_int "S(c)" (ms 9) (Option.get (Rta.slack app 2))
+
+let test_sensitivity_gamma () =
+  let app = classic () in
+  match Sensitivity.gammas app ~alpha:0.5 with
+  | None -> Alcotest.fail "expected schedulable"
+  | Some s ->
+    check_int "gamma(a) = 0.5 * 3ms" (Time.of_us 1500) s.Sensitivity.gamma.(0);
+    check_bool "still schedulable with jitter" true s.Sensitivity.schedulable
+
+let test_sensitivity_sweep () =
+  let app = classic () in
+  let sweep = Sensitivity.sweep app in
+  check_int "five alphas" 5 (List.length sweep);
+  List.iter
+    (fun (_, s) -> check_bool "all defined" true (s <> None))
+    sweep
+
+let test_sensitivity_invalid_alpha () =
+  let app = classic () in
+  check_bool "alpha > 1 rejected" true
+    (try
+       ignore (Sensitivity.gammas app ~alpha:1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_waters_schedulable () =
+  let app = Workload.Waters2019.make () in
+  check_bool "waters schedulable at zero jitter" true
+    (Rta.schedulable app ~jitter:(Rta.no_jitter app));
+  (* every alpha in the paper's sweep yields schedulable gammas *)
+  List.iter
+    (fun (alpha, s) ->
+      match s with
+      | Some s ->
+        check_bool
+          (Printf.sprintf "schedulable at alpha=%.1f" alpha)
+          true s.Sensitivity.schedulable
+      | None -> Alcotest.fail "gamma undefined")
+    (Sensitivity.sweep app)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* response times grow monotonically with higher-priority jitter *)
+let prop_rta_monotone_in_jitter =
+  QCheck.Test.make ~name:"response time monotone in jitter" ~count:100
+    QCheck.(pair (int_range 0 3) (int_range 0 2))
+    (fun (jit_ms, task) ->
+      let app = classic () in
+      let j0 = Rta.no_jitter app in
+      let j1 = Rta.no_jitter app in
+      Array.iteri (fun i _ -> j1.(i) <- ms jit_ms) j1;
+      match (Rta.response_time app ~jitter:j0 task, Rta.response_time app ~jitter:j1 task) with
+      | Some r0, Some r1 -> r1 >= r0
+      | Some _, None -> true (* jitter can break schedulability *)
+      | None, _ -> false)
+
+(* gamma scales linearly with alpha *)
+let prop_gamma_linear_in_alpha =
+  QCheck.Test.make ~name:"gamma proportional to alpha" ~count:50
+    QCheck.(int_range 1 10)
+    (fun tenths ->
+      let alpha = float_of_int tenths /. 10.0 in
+      let app = classic () in
+      match (Sensitivity.gammas app ~alpha, Sensitivity.gammas app ~alpha:0.1) with
+      | Some s, Some base ->
+        Array.for_all2
+          (fun g b ->
+            (* g = alpha * S and b = 0.1 * S, so g ~ tenths * b *)
+            abs (g - (tenths * b)) <= tenths)
+          s.Sensitivity.gamma base.Sensitivity.gamma
+      | _ -> false)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_rta_monotone_in_jitter; prop_gamma_linear_in_alpha ]
+  in
+  Alcotest.run "rt_analysis"
+    [
+      ( "rta",
+        [
+          Alcotest.test_case "classic response times" `Quick test_rta_classic;
+          Alcotest.test_case "priority order" `Quick test_rta_priority_order;
+          Alcotest.test_case "jitter effect" `Quick test_rta_jitter_effect;
+          Alcotest.test_case "unschedulable" `Quick test_rta_unschedulable;
+          Alcotest.test_case "partitioned isolation" `Quick
+            test_rta_partitioned_isolation;
+          Alcotest.test_case "slack" `Quick test_slack;
+        ] );
+      ( "sensitivity",
+        [
+          Alcotest.test_case "gamma derivation" `Quick test_sensitivity_gamma;
+          Alcotest.test_case "alpha sweep" `Quick test_sensitivity_sweep;
+          Alcotest.test_case "invalid alpha" `Quick test_sensitivity_invalid_alpha;
+          Alcotest.test_case "waters schedulability" `Quick test_waters_schedulable;
+        ] );
+      ("properties", qsuite);
+    ]

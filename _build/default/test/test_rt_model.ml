@@ -1,0 +1,294 @@
+(* Tests for the application/platform model library. *)
+
+open Rt_model
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Time                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_time_units () =
+  check_int "us" 1_000 (Time.of_us 1);
+  check_int "ms" 1_000_000 (Time.of_ms 1);
+  check_int "s" 1_000_000_000 (Time.of_s 1);
+  Alcotest.(check (float 1e-9)) "to ms" 2.5 (Time.to_ms_float 2_500_000)
+
+let test_time_lcm_gcd () =
+  check_int "gcd" 5 (Time.gcd 15 10);
+  check_int "lcm" 30 (Time.lcm 15 10);
+  check_int "lcm_list" 60 (Time.lcm_list [ 12; 20; 15 ]);
+  check_int "lcm with zero" 0 (Time.lcm 0 5)
+
+let test_time_pp () =
+  Alcotest.(check string) "ms" "5ms" (Time.to_string (Time.of_ms 5));
+  Alcotest.(check string) "us" "3us" (Time.to_string (Time.of_us 3));
+  Alcotest.(check string) "ns" "42ns" (Time.to_string 42);
+  Alcotest.(check string) "s" "2s" (Time.to_string (Time.of_s 2));
+  Alcotest.(check string) "zero" "0" (Time.to_string Time.zero)
+
+(* ------------------------------------------------------------------ *)
+(* Task / Label validation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_task_validation () =
+  let ok =
+    Task.make ~id:0 ~name:"t" ~period:(Time.of_ms 10) ~wcet:(Time.of_ms 2)
+      ~core:0
+  in
+  check_int "deadline = period" (Time.of_ms 10) (Task.deadline ok);
+  Alcotest.(check (float 1e-9)) "utilization" 0.2 (Task.utilization ok);
+  Alcotest.check_raises "wcet > period"
+    (Invalid_argument "Task.make: wcet exceeds period") (fun () ->
+      ignore
+        (Task.make ~id:1 ~name:"bad" ~period:(Time.of_ms 1)
+           ~wcet:(Time.of_ms 2) ~core:0));
+  Alcotest.check_raises "zero period"
+    (Invalid_argument "Task.make: period must be positive") (fun () ->
+      ignore (Task.make ~id:1 ~name:"bad" ~period:0 ~wcet:0 ~core:0))
+
+let test_label_validation () =
+  let l = Label.make ~id:0 ~name:"l" ~size:64 ~writer:0 ~readers:[ 2; 1 ] in
+  Alcotest.(check (list int)) "readers sorted" [ 1; 2 ] l.Label.readers;
+  Alcotest.check_raises "writer reads"
+    (Invalid_argument "Label.make: writer cannot also be a reader") (fun () ->
+      ignore (Label.make ~id:0 ~name:"l" ~size:64 ~writer:0 ~readers:[ 0 ]));
+  Alcotest.check_raises "zero size"
+    (Invalid_argument "Label.make: size must be positive") (fun () ->
+      ignore (Label.make ~id:0 ~name:"l" ~size:0 ~writer:0 ~readers:[]));
+  Alcotest.check_raises "duplicate readers"
+    (Invalid_argument "Label.make: duplicate readers") (fun () ->
+      ignore (Label.make ~id:0 ~name:"l" ~size:4 ~writer:0 ~readers:[ 1; 1 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Platform                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_platform_memory_order () =
+  (* locals order by core index and precede the global memory *)
+  check_bool "local < global" true
+    (Platform.compare_memory (Platform.Local 3) Platform.Global < 0);
+  check_bool "locals by index" true
+    (Platform.compare_memory (Platform.Local 0) (Platform.Local 1) < 0);
+  check_bool "global equal" true
+    (Platform.equal_memory Platform.Global Platform.Global);
+  check_bool "distinct locals differ" false
+    (Platform.equal_memory (Platform.Local 0) (Platform.Local 1));
+  Alcotest.(check string) "pp local" "M2"
+    (Fmt.str "%a" Platform.pp_memory (Platform.Local 1));
+  Alcotest.(check string) "pp global" "MG"
+    (Fmt.str "%a" Platform.pp_memory Platform.Global)
+
+let test_platform_validation () =
+  check_bool "zero cores rejected" true
+    (try
+       ignore (Platform.make ~n_cores:0 ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "negative overhead rejected" true
+    (try
+       ignore (Platform.make ~o_dp:(-1) ~n_cores:1 ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "zero copy cost rejected" true
+    (try
+       ignore (Platform.make ~dma_ns_per_byte:0.0 ~n_cores:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_platform_defaults () =
+  let p = Platform.make ~n_cores:2 () in
+  check_int "o_DP" 3360 p.Platform.o_dp;
+  check_int "o_ISR" (Time.of_us 10) p.Platform.o_isr;
+  check_int "lambda_O" (3360 + 10_000) (Platform.lambda_o p);
+  check_int "memories" 3 (List.length (Platform.memories p))
+
+let test_platform_copy_costs () =
+  let p = Platform.make ~dma_ns_per_byte:2.0 ~cpu_ns_per_byte:8.0 ~n_cores:1 () in
+  check_int "dma copy" 128 (Platform.dma_copy_time p 64);
+  check_int "cpu copy" 512 (Platform.cpu_copy_time p 64);
+  (* ceil on fractional costs *)
+  let p2 = Platform.make ~dma_ns_per_byte:0.3 ~n_cores:1 () in
+  check_int "ceil" 2 (Platform.dma_copy_time p2 5)
+
+(* ------------------------------------------------------------------ *)
+(* App                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Two cores; t0,t1 on core 0, t2 on core 1. l0: t0 -> t2 (inter-core),
+   l1: t0 -> t1 (same core), l2: t2 -> t0 (inter-core), l3: t1 -> t0,t2
+   (one same-core reader, one inter-core reader). *)
+let fixture () =
+  let platform = Platform.make ~n_cores:2 () in
+  let tasks =
+    [
+      Task.make ~id:0 ~name:"t0" ~period:(Time.of_ms 10) ~wcet:(Time.of_ms 1) ~core:0;
+      Task.make ~id:1 ~name:"t1" ~period:(Time.of_ms 20) ~wcet:(Time.of_ms 2) ~core:0;
+      Task.make ~id:2 ~name:"t2" ~period:(Time.of_ms 40) ~wcet:(Time.of_ms 4) ~core:1;
+    ]
+  in
+  let labels =
+    [
+      Label.make ~id:0 ~name:"l0" ~size:64 ~writer:0 ~readers:[ 2 ];
+      Label.make ~id:1 ~name:"l1" ~size:32 ~writer:0 ~readers:[ 1 ];
+      Label.make ~id:2 ~name:"l2" ~size:128 ~writer:2 ~readers:[ 0 ];
+      Label.make ~id:3 ~name:"l3" ~size:16 ~writer:1 ~readers:[ 0; 2 ];
+    ]
+  in
+  App.make ~platform ~tasks ~labels
+
+let test_app_basics () =
+  let app = fixture () in
+  check_int "tasks" 3 (App.num_tasks app);
+  check_int "labels" 4 (App.num_labels app);
+  check_int "hyperperiod" (Time.of_ms 40) (App.hyperperiod app);
+  check_int "core of t2" 1 (App.core_of app 2);
+  check_int "tasks on core 0" 2 (List.length (App.tasks_on_core app 0));
+  let t = App.task_by_name app "t1" in
+  check_int "by name" 1 t.Task.id
+
+let test_app_inter_core () =
+  let app = fixture () in
+  let ic = App.inter_core_labels app in
+  Alcotest.(check (list int)) "inter-core labels" [ 0; 2; 3 ]
+    (List.map (fun (l : Label.t) -> l.Label.id) ic);
+  check_bool "l1 is intra-core" false (App.is_inter_core app (App.label app 1));
+  Alcotest.(check (list int)) "inter-core readers of l3" [ 2 ]
+    (App.inter_core_readers app (App.label app 3))
+
+let test_app_shared_between () =
+  let app = fixture () in
+  let l = App.shared_between app ~producer:0 ~consumer:2 in
+  Alcotest.(check (list int)) "L^S(0,2)" [ 0 ]
+    (List.map (fun (l : Label.t) -> l.Label.id) l);
+  Alcotest.(check (list int)) "same-core pair is empty" []
+    (List.map
+       (fun (l : Label.t) -> l.Label.id)
+       (App.shared_between app ~producer:0 ~consumer:1))
+
+let test_app_edges () =
+  let app = fixture () in
+  Alcotest.(check (list (pair int int)))
+    "edges" [ (0, 2); (1, 2); (2, 0) ]
+    (App.communication_edges app)
+
+let test_app_comm_hyperperiod () =
+  let app = fixture () in
+  (* t0 communicates with t2 (40ms): lcm(10,40) = 40 *)
+  check_int "H*_0" (Time.of_ms 40) (App.comm_hyperperiod app 0);
+  (* t1 communicates with t2: lcm(20,40) = 40 *)
+  check_int "H*_1" (Time.of_ms 40) (App.comm_hyperperiod app 1)
+
+let test_app_memory_demand () =
+  let app = fixture () in
+  (* global memory holds inter-core labels: 64 + 128 + 16 *)
+  check_int "global demand" 208 (App.memory_demand app Platform.Global);
+  (* core 0 copies: l0 (written by t0), l2 (read by t0), l3 (written by t1) *)
+  check_int "local 0 demand" 208 (App.memory_demand app (Platform.Local 0));
+  (* core 1 copies: l0 (read), l2 (written), l3 (read) *)
+  check_int "local 1 demand" 208 (App.memory_demand app (Platform.Local 1));
+  Alcotest.(check (list string)) "fits" [] (App.check_memory_fit app)
+
+let test_app_validation_errors () =
+  let platform = Platform.make ~n_cores:1 () in
+  let t0 =
+    Task.make ~id:0 ~name:"a" ~period:(Time.of_ms 1) ~wcet:Time.zero ~core:0
+  in
+  (* non-dense ids *)
+  let t_bad =
+    Task.make ~id:5 ~name:"b" ~period:(Time.of_ms 1) ~wcet:Time.zero ~core:0
+  in
+  check_bool "non-dense ids rejected" true
+    (try
+       ignore (App.make ~platform ~tasks:[ t0; t_bad ] ~labels:[]);
+       false
+     with App.Invalid _ -> true);
+  (* core out of range *)
+  let t_core =
+    Task.make ~id:0 ~name:"c" ~period:(Time.of_ms 1) ~wcet:Time.zero ~core:3
+  in
+  check_bool "core out of range rejected" true
+    (try
+       ignore (App.make ~platform ~tasks:[ t_core ] ~labels:[]);
+       false
+     with App.Invalid _ -> true);
+  (* label references unknown task *)
+  let l = Label.make ~id:0 ~name:"l" ~size:1 ~writer:9 ~readers:[] in
+  check_bool "unknown writer rejected" true
+    (try
+       ignore (App.make ~platform ~tasks:[ t0 ] ~labels:[ l ]);
+       false
+     with App.Invalid _ -> true)
+
+let test_app_utilization () =
+  let app = fixture () in
+  let u = App.total_utilization_per_core app in
+  Alcotest.(check (float 1e-9)) "core 0" 0.2 u.(0);
+  Alcotest.(check (float 1e-9)) "core 1" 0.1 u.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_lcm_divisible =
+  QCheck.Test.make ~name:"lcm divisible by both operands" ~count:200
+    QCheck.(pair (int_range 1 100000) (int_range 1 100000))
+    (fun (a, b) ->
+      let l = Time.lcm a b in
+      l mod a = 0 && l mod b = 0 && l >= max a b)
+
+let prop_hyperperiod_multiple_of_periods =
+  QCheck.Test.make ~name:"hyperperiod is a multiple of every period" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 6) (int_range 1 50))
+    (fun periods ->
+      let platform = Platform.make ~n_cores:1 () in
+      let tasks =
+        List.mapi
+          (fun i p ->
+            Task.make ~id:i ~name:(Printf.sprintf "t%d" i)
+              ~period:(Time.of_ms p) ~wcet:Time.zero ~core:0)
+          periods
+      in
+      let app = App.make ~platform ~tasks ~labels:[] in
+      let h = App.hyperperiod app in
+      List.for_all (fun p -> h mod Time.of_ms p = 0) periods)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_lcm_divisible; prop_hyperperiod_multiple_of_periods ]
+  in
+  Alcotest.run "rt_model"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "lcm/gcd" `Quick test_time_lcm_gcd;
+          Alcotest.test_case "pretty printing" `Quick test_time_pp;
+        ] );
+      ( "task-label",
+        [
+          Alcotest.test_case "task validation" `Quick test_task_validation;
+          Alcotest.test_case "label validation" `Quick test_label_validation;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "defaults" `Quick test_platform_defaults;
+          Alcotest.test_case "copy costs" `Quick test_platform_copy_costs;
+          Alcotest.test_case "memory ordering" `Quick test_platform_memory_order;
+          Alcotest.test_case "validation" `Quick test_platform_validation;
+        ] );
+      ( "app",
+        [
+          Alcotest.test_case "basics" `Quick test_app_basics;
+          Alcotest.test_case "inter-core labels" `Quick test_app_inter_core;
+          Alcotest.test_case "shared_between" `Quick test_app_shared_between;
+          Alcotest.test_case "communication edges" `Quick test_app_edges;
+          Alcotest.test_case "comm hyperperiod" `Quick test_app_comm_hyperperiod;
+          Alcotest.test_case "memory demand" `Quick test_app_memory_demand;
+          Alcotest.test_case "validation errors" `Quick test_app_validation_errors;
+          Alcotest.test_case "utilization" `Quick test_app_utilization;
+        ] );
+      ("properties", qsuite);
+    ]

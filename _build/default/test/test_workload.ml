@@ -1,0 +1,237 @@
+(* Tests for the WATERS 2019 case-study encoding and the random workload
+   generator. *)
+
+open Rt_model
+open Workload
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_waters_structure () =
+  let app = Waters2019.make () in
+  check_int "nine tasks" 9 (App.num_tasks app);
+  check_int "four cores" 4 (App.platform app).Platform.n_cores;
+  check_int "hyperperiod 13.2s" (Time.of_ms 13200) (App.hyperperiod app);
+  (* periods from the challenge *)
+  let period name = (App.task_by_name app name).Task.period in
+  check_int "DASM 5ms" (Time.of_ms 5) (period "DASM");
+  check_int "CAN 10ms" (Time.of_ms 10) (period "CAN");
+  check_int "EKF 15ms" (Time.of_ms 15) (period "EKF");
+  check_int "LID 33ms" (Time.of_ms 33) (period "LID");
+  check_int "LDET 66ms" (Time.of_ms 66) (period "LDET");
+  check_int "DET 200ms" (Time.of_ms 200) (period "DET");
+  check_int "LOC 400ms" (Time.of_ms 400) (period "LOC")
+
+let test_waters_fig2_order () =
+  check_int "nine entries" 9 (List.length Waters2019.fig2_order);
+  Alcotest.(check (list string)) "order"
+    [ "LID"; "DASM"; "CAN"; "EKF"; "PLAN"; "SFM"; "LOC"; "LDET"; "DET" ]
+    (List.map (fun i -> Waters2019.task_names.(i)) Waters2019.fig2_order)
+
+let test_waters_flows () =
+  let app = Waters2019.make () in
+  check_int "eleven labels" 11 (App.num_labels app);
+  (* two flows are intra-core (EKF->PLAN and DASM->CAN) *)
+  check_int "nine inter-core labels" 9 (List.length (App.inter_core_labels app));
+  (* single-writer and at most one reader per core (MILP requirement) *)
+  List.iter
+    (fun (l : Label.t) ->
+      let cores = List.map (App.core_of app) (App.inter_core_readers app l) in
+      check_bool "one reader per core" true
+        (List.length cores = List.length (List.sort_uniq Int.compare cores)))
+    (App.labels app)
+
+let test_waters_memory_fit () =
+  let app = Waters2019.make () in
+  Alcotest.(check (list string)) "fits in scratchpads" []
+    (App.check_memory_fit app)
+
+let test_waters_labels_per_edge () =
+  let app1 = Waters2019.make () in
+  let app4 = Waters2019.make ~labels_per_edge:4 () in
+  check_int "4x labels" (4 * App.num_labels app1) (App.num_labels app4);
+  (* splitting preserves total bytes per flow *)
+  let total app =
+    List.fold_left (fun acc (l : Label.t) -> acc + l.Label.size) 0 (App.labels app)
+  in
+  check_int "same total bytes" (total app1) (total app4)
+
+let test_waters_scale () =
+  let app1 = Waters2019.make () in
+  let app2 = Waters2019.make ~scale:2.0 () in
+  let size app name =
+    (List.find (fun (l : Label.t) -> l.Label.name = name) (App.labels app))
+      .Label.size
+  in
+  check_int "scaled lidar payload" (2 * size app1 "LID_LOC") (size app2 "LID_LOC")
+
+let test_waters_invalid_args () =
+  check_bool "labels_per_edge >= 1" true
+    (try
+       ignore (Waters2019.make ~labels_per_edge:0 ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "scale > 0" true
+    (try
+       ignore (Waters2019.make ~scale:0.0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_generator_deterministic () =
+  let a = Generator.random ~seed:7 () in
+  let b = Generator.random ~seed:7 () in
+  check_int "same tasks" (App.num_tasks a) (App.num_tasks b);
+  check_int "same labels" (App.num_labels a) (App.num_labels b);
+  List.iter2
+    (fun (x : Label.t) (y : Label.t) ->
+      check_int "same sizes" x.Label.size y.Label.size)
+    (App.labels a) (App.labels b)
+
+let test_generator_structure () =
+  let config = { Generator.default_config with Generator.n_tasks = 8; n_cores = 3 } in
+  let app = Generator.random ~seed:3 ~config () in
+  check_int "eight tasks" 8 (App.num_tasks app);
+  (* all labels cross cores *)
+  List.iter
+    (fun (l : Label.t) ->
+      check_bool "inter-core" true (App.is_inter_core app l))
+    (App.labels app);
+  (* utilization within the configured budget per core *)
+  Array.iter
+    (fun u -> check_bool "utilization bounded" true (u <= 0.55))
+    (App.total_utilization_per_core app)
+
+let test_generator_invalid () =
+  check_bool "needs 2 tasks" true
+    (try
+       ignore
+         (Generator.random
+            ~config:{ Generator.default_config with Generator.n_tasks = 1 }
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Automotive generator (WATERS 2015 statistics)                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_automotive_structure () =
+  let app = Automotive.generate () in
+  check_int "twelve tasks" 12 (App.num_tasks app);
+  check_int "four cores" 4 (App.platform app).Platform.n_cores;
+  (* every period is from the published grid *)
+  let grid = List.map (fun (p, _) -> Time.of_ms p) Automotive.period_distribution in
+  List.iter
+    (fun (t : Task.t) ->
+      check_bool "period from grid" true (List.mem t.Task.period grid))
+    (App.tasks app);
+  (* label sizes stay in the signal range *)
+  List.iter
+    (fun (l : Label.t) ->
+      check_bool "signal size" true (l.Label.size >= 1 && l.Label.size <= 64))
+    (App.labels app)
+
+let test_automotive_deterministic () =
+  let a = Automotive.generate ~seed:7 () in
+  let b = Automotive.generate ~seed:7 () in
+  check_int "same labels" (App.num_labels a) (App.num_labels b);
+  let c = Automotive.generate ~seed:8 () in
+  (* different seed: extremely unlikely to coincide on everything *)
+  check_bool "different seeds differ" true
+    (App.num_labels a <> App.num_labels c
+    || List.exists2
+         (fun (x : Task.t) (y : Task.t) -> x.Task.period <> y.Task.period)
+         (App.tasks a) (App.tasks c))
+
+let test_automotive_harmonic_bias () =
+  (* the 1/2/10/20/100/200/1000 grid makes most pairs harmonic *)
+  let app = Automotive.generate ~seed:3 () in
+  check_bool "mostly harmonic" true (Automotive.harmonic_ratio app > 0.5)
+
+let test_automotive_schedulable_and_usable () =
+  let app = Automotive.generate ~seed:11 () in
+  check_bool "schedulable" true
+    (Rt_analysis.Rta.schedulable app ~jitter:(Rt_analysis.Rta.no_jitter app));
+  let groups = Let_sem.Groups.compute app in
+  check_bool "s0 superset invariant" true (Let_sem.Groups.check_s0_superset groups);
+  (* the whole pipeline runs end to end on the generated workload *)
+  match Rt_analysis.Sensitivity.gammas app ~alpha:0.5 with
+  | None -> Alcotest.fail "gammas undefined"
+  | Some s ->
+    (match
+       Letdma.Heuristic.solve app groups ~gamma:s.Rt_analysis.Sensitivity.gamma
+     with
+     | Ok sol ->
+       check_bool "plan transfers" true (Letdma.Solution.num_transfers sol > 0)
+     | Error e -> Alcotest.fail e)
+
+let test_automotive_invalid () =
+  check_bool "needs 2 cores" true
+    (try
+       ignore
+         (Automotive.generate
+            ~config:{ Automotive.default_config with Automotive.n_cores = 1 }
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_uunifast_sums_to_u =
+  QCheck.Test.make ~name:"uunifast shares sum to the target" ~count:100
+    QCheck.(pair (int_range 1 10) (int_range 0 10000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed |] in
+      let shares = Generator.uunifast st n 0.7 in
+      List.length shares = n
+      && List.for_all (fun u -> u >= 0.0 && u <= 0.7 +. 1e-9) shares
+      && Float.abs (List.fold_left ( +. ) 0.0 shares -. 0.7) < 1e-9)
+
+let prop_generated_apps_valid =
+  QCheck.Test.make ~name:"generated apps pass validation and analysis"
+    ~count:50
+    QCheck.(int_range 0 5000)
+    (fun seed ->
+      let app = Generator.random ~seed () in
+      (* App.make already validated; additionally run the analyses *)
+      let groups = Let_sem.Groups.compute app in
+      Let_sem.Groups.check_s0_superset groups
+      && App.check_memory_fit app = []
+      && Rt_analysis.Rta.schedulable app ~jitter:(Rt_analysis.Rta.no_jitter app))
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_uunifast_sums_to_u; prop_generated_apps_valid ]
+  in
+  Alcotest.run "workload"
+    [
+      ( "waters2019",
+        [
+          Alcotest.test_case "structure" `Quick test_waters_structure;
+          Alcotest.test_case "fig2 order" `Quick test_waters_fig2_order;
+          Alcotest.test_case "flows" `Quick test_waters_flows;
+          Alcotest.test_case "memory fit" `Quick test_waters_memory_fit;
+          Alcotest.test_case "labels per edge" `Quick test_waters_labels_per_edge;
+          Alcotest.test_case "payload scale" `Quick test_waters_scale;
+          Alcotest.test_case "invalid arguments" `Quick test_waters_invalid_args;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "structure" `Quick test_generator_structure;
+          Alcotest.test_case "invalid config" `Quick test_generator_invalid;
+        ] );
+      ( "automotive",
+        [
+          Alcotest.test_case "structure" `Quick test_automotive_structure;
+          Alcotest.test_case "deterministic" `Quick test_automotive_deterministic;
+          Alcotest.test_case "harmonic bias" `Quick test_automotive_harmonic_bias;
+          Alcotest.test_case "end-to-end usable" `Quick
+            test_automotive_schedulable_and_usable;
+          Alcotest.test_case "invalid config" `Quick test_automotive_invalid;
+        ] );
+      ("properties", qsuite);
+    ]
