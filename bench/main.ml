@@ -15,6 +15,8 @@
      EXT-MULTIDMA  — the protocol on 1/2/4 parallel DMA channels
      EXT-AUTOMOTIVE — signal-heavy workloads (WATERS 2015 statistics)
      SCALING       — MILP size vs WATERS label-table granularity
+     ROBUSTNESS    — certifier overhead per solve, fault-injection sweep,
+                     and the degradation ladder end to end
      MICRO         — Bechamel timings of the pipeline kernels
 
    The MILP time limit defaults to 30s per solve (the paper allowed 1h on
@@ -135,7 +137,9 @@ let ablation_heuristic () =
               "  seed %3d %-10s: %2d transfers, worst lambda/gamma %.4f, %.2fs@."
               seed name r.Letdma.Experiment.num_transfers !worst
               (Unix.gettimeofday () -. t0)
-          | Error e -> Fmt.pr "  seed %3d %-10s: failed (%s)@." seed name e)
+          | Error e ->
+            Fmt.pr "  seed %3d %-10s: failed (%s)@." seed name
+              (Letdma.Experiment.error_to_string e))
         [
           ("heuristic", Letdma.Experiment.Heuristic);
           ( "milp-del",
@@ -321,6 +325,64 @@ let scaling () =
     [ 1; 2; 3 ]
 
 (* ------------------------------------------------------------------ *)
+(* ROBUSTNESS: certifier overhead + fault-injection sweep              *)
+(* ------------------------------------------------------------------ *)
+
+let robustness app =
+  section
+    "ROBUSTNESS: certifier overhead, fault-injection sweep, degradation ladder";
+  let groups = Groups.compute app in
+  match Rt_analysis.Sensitivity.gammas app ~alpha:0.2 with
+  | None -> Fmt.pr "unschedulable@."
+  | Some s ->
+    let gamma = s.Rt_analysis.Sensitivity.gamma in
+    (* certifier overhead per solve: full independent re-verification
+       (MILP residuals + layouts + Properties 1-3 + deadlines) relative
+       to the MILP solve it vouches for; the budget is <5% *)
+    let warm = Letdma.Heuristic.solve_unchecked app groups ~gamma in
+    let r =
+      Letdma.Solve.solve ~time_limit_s:time_limit ?warm
+        Letdma.Formulation.No_obj app groups ~gamma
+    in
+    (match (r.Letdma.Solve.solution, r.Letdma.Solve.x) with
+     | Some sol, Some x ->
+       let n = 25 in
+       let t0 = Unix.gettimeofday () in
+       for _ = 1 to n do
+         ignore
+           (Letdma.Certify.certify
+              ~milp:(r.Letdma.Solve.instance, x)
+              ~source:Letdma.Certify.Milp_optimal app groups ~gamma sol)
+       done;
+       let cert_s = (Unix.gettimeofday () -. t0) /. float_of_int n in
+       let solve_s = r.Letdma.Solve.stats.Letdma.Solve.time_s in
+       Fmt.pr
+         "  certifier: %.3fms per certification vs %.3fs MILP solve \
+          (overhead %.3f%%)@."
+         (1000.0 *. cert_s) solve_s
+         (100.0 *. cert_s /. solve_s)
+     | _ -> Fmt.pr "  no MILP solution to certify@.");
+    (* fault sweep on the certified heuristic schedule *)
+    (match warm with
+     | None -> ()
+     | Some sol ->
+       let schedule = Letdma.Solution.schedule app groups sol in
+       Fmt.pr "  fault sweep (seed 42):@.";
+       List.iter
+         (fun rep -> Fmt.pr "    %a@." Dma_sim.Robustness.pp_report rep)
+         (Dma_sim.Robustness.sweep ~seed:42
+            ~intensities:[ 0.0; 0.1; 0.5; 1.0; 2.0; 5.0; 10.0 ]
+            app groups schedule));
+    (* the degradation ladder end to end *)
+    (match Letdma.Pipeline.run ~budget_s:time_limit app with
+     | Ok o ->
+       Fmt.pr "  pipeline: accepted rung %s in %.2fs (%d certificate checks)@."
+         (Letdma.Pipeline.rung_name o.Letdma.Pipeline.rung)
+         o.Letdma.Pipeline.total_time_s
+         o.Letdma.Pipeline.certificate.Letdma.Certify.checks
+     | Error f -> Fmt.pr "  pipeline: %s@." (Letdma.Pipeline.failure_to_string f))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -414,5 +476,6 @@ let () =
   extension_multi_dma app;
   extension_automotive ();
   scaling ();
+  robustness app;
   micro app;
   Fmt.pr "@.bench: all sections completed@."

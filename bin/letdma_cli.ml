@@ -1,9 +1,44 @@
 (* Command-line interface: reproduce the paper's experiments and inspect
-   the pipeline on the WATERS 2019 case study or random workloads. *)
+   the pipeline on the WATERS 2019 case study or random workloads.
+
+   Failure discipline: every command returns a distinct exit code with a
+   one-line structured error on stderr instead of a raw exception —
+     0  success
+     1  unexpected internal error
+     3  invalid application model
+     4  nothing to solve / unschedulable (no communications, or no gamma
+        exists at the requested alpha)
+     5  solving failed (no feasible plan, certification rejected the
+        solution, or the degradation ladder was exhausted)
+   Invalid flag values (e.g. --labels-per-edge 0) are rejected by the
+   argument parser itself with Cmdliner's usage error code (124). *)
 
 open Cmdliner
 open Rt_model
 open Let_sem
+
+let exit_internal = 1
+let exit_invalid_model = 3
+let exit_unschedulable = 4
+let exit_no_solution = 5
+
+let err fmt = Fmt.kstr (fun m -> Fmt.epr "letdma: error: %s@." m) fmt
+
+(* Run [f], mapping any stray exception to a one-line error + exit 1. *)
+let guard f =
+  try f () with
+  | Failure m | Invalid_argument m | App.Invalid m ->
+    err "%s" m;
+    exit_internal
+  | Sys_error m ->
+    err "%s" m;
+    exit_internal
+
+let exit_of_experiment_error = function
+  | Letdma.Experiment.No_communications | Letdma.Experiment.Unschedulable _ ->
+    exit_unschedulable
+  | Letdma.Experiment.No_solution _ | Letdma.Experiment.Uncertified _ ->
+    exit_no_solution
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -12,17 +47,46 @@ let setup_logs verbose =
 let verbose_t =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log solver progress.")
 
+(* validated argument converters: out-of-range values are rejected at
+   parse time, before any work starts *)
+let positive_int what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some n -> Error (`Msg (Fmt.str "%s must be positive, got %d" what n))
+    | None -> Error (`Msg (Fmt.str "%s must be an integer, got %S" what s))
+  in
+  Arg.conv (parse, Fmt.int)
+
+let positive_float what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some x when x > 0.0 && Float.is_finite x -> Ok x
+    | Some x -> Error (`Msg (Fmt.str "%s must be positive, got %g" what x))
+    | None -> Error (`Msg (Fmt.str "%s must be a number, got %S" what s))
+  in
+  Arg.conv (parse, Fmt.float)
+
+let nonneg_float what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some x when x >= 0.0 && Float.is_finite x -> Ok x
+    | Some x -> Error (`Msg (Fmt.str "%s must be >= 0, got %g" what x))
+    | None -> Error (`Msg (Fmt.str "%s must be a number, got %S" what s))
+  in
+  Arg.conv (parse, Fmt.float)
+
 let time_limit_t =
   Arg.(
     value
-    & opt float 60.0
+    & opt (positive_float "time limit") 60.0
     & info [ "time-limit" ] ~docv:"SECONDS"
         ~doc:"Wall-clock limit for each MILP solve (the paper used 1 hour).")
 
 let labels_per_edge_t =
   Arg.(
     value
-    & opt int 1
+    & opt (positive_int "labels per edge") 1
     & info [ "labels-per-edge" ] ~docv:"N"
         ~doc:"Split each WATERS data flow into N labels (scales the MILP).")
 
@@ -35,6 +99,7 @@ let waters ~labels_per_edge = Workload.Waters2019.make ~labels_per_edge ()
 
 let info_cmd =
   let run verbose labels_per_edge =
+    guard @@ fun () ->
     setup_logs verbose;
     let app = waters ~labels_per_edge in
     let groups = Groups.compute app in
@@ -47,7 +112,8 @@ let info_cmd =
         match s with
         | Some s -> Fmt.pr "@.%a@." (Rt_analysis.Sensitivity.pp app) s
         | None -> Fmt.pr "@.alpha=%.1f: unschedulable@." alpha)
-      (Rt_analysis.Sensitivity.sweep app)
+      (Rt_analysis.Sensitivity.sweep app);
+    0
   in
   Cmd.v
     (Cmd.info "info" ~doc:"Print the WATERS 2019 case study and its analysis.")
@@ -66,25 +132,29 @@ let fig1_cmd =
              waveform (viewable in GTKWave).")
   in
   let run verbose vcd =
+    guard @@ fun () ->
     setup_logs verbose;
     Fmt.pr "%s@." (Letdma.Fig1.render ());
     match vcd with
-    | None -> ()
-    | Some file ->
+    | None -> 0
+    | Some file -> (
       let app = Letdma.Fig1.app () in
       let groups = Groups.compute app in
       let gamma = Letdma.Fig1.gamma app in
-      (match Letdma.Heuristic.solve app groups ~gamma with
-       | Error e -> Fmt.epr "vcd: %s@." e
-       | Ok solution ->
-         let m =
-           Letdma.Baselines.run ~record_trace:true app groups
-             Letdma.Baselines.Proposed ~solution:(Some solution)
-         in
-         let oc = open_out file in
-         output_string oc (Dma_sim.Vcd.to_vcd app m.Dma_sim.Sim.trace);
-         close_out oc;
-         Fmt.pr "wrote %s@." file)
+      match Letdma.Heuristic.solve app groups ~gamma with
+      | Error e ->
+        err "vcd: %s" e;
+        exit_no_solution
+      | Ok solution ->
+        let m =
+          Letdma.Baselines.run ~record_trace:true app groups
+            Letdma.Baselines.Proposed ~solution:(Some solution)
+        in
+        let oc = open_out file in
+        output_string oc (Dma_sim.Vcd.to_vcd app m.Dma_sim.Sim.trace);
+        close_out oc;
+        Fmt.pr "wrote %s@." file;
+        0)
   in
   Cmd.v
     (Cmd.info "fig1"
@@ -104,19 +174,25 @@ let fig2_cmd =
           ~doc:"Additionally write the per-task data as CSV for plotting.")
   in
   let run verbose time_limit labels_per_edge csv =
+    guard @@ fun () ->
     setup_logs verbose;
     let app = waters ~labels_per_edge in
     let results = Letdma.Experiment.fig2 ~time_limit_s:time_limit app in
     Fmt.pr "%a@." (fun ppf -> Letdma.Report.fig2 ppf app) results;
-    match csv with
-    | None -> ()
-    | Some file ->
-      let oc = open_out file in
-      let ppf = Format.formatter_of_out_channel oc in
-      Letdma.Report.fig2_csv ppf app results;
-      Format.pp_print_flush ppf ();
-      close_out oc;
-      Fmt.pr "wrote %s@." file
+    (match csv with
+     | None -> ()
+     | Some file ->
+       let oc = open_out file in
+       let ppf = Format.formatter_of_out_channel oc in
+       Letdma.Report.fig2_csv ppf app results;
+       Format.pp_print_flush ppf ();
+       close_out oc;
+       Fmt.pr "wrote %s@." file);
+    if List.exists (fun (_, r) -> Result.is_ok r) results then 0
+    else begin
+      err "every configuration failed";
+      exit_no_solution
+    end
   in
   Cmd.v
     (Cmd.info "fig2"
@@ -130,10 +206,12 @@ let fig2_cmd =
 
 let table1_cmd =
   let run verbose time_limit labels_per_edge =
+    guard @@ fun () ->
     setup_logs verbose;
     let app = waters ~labels_per_edge in
     let rows = Letdma.Experiment.table1 ~time_limit_s:time_limit app in
-    Fmt.pr "%a@." Letdma.Report.table1 rows
+    Fmt.pr "%a@." Letdma.Report.table1 rows;
+    0
   in
   Cmd.v
     (Cmd.info "table1"
@@ -144,10 +222,12 @@ let table1_cmd =
 
 let alpha_cmd =
   let run verbose time_limit labels_per_edge =
+    guard @@ fun () ->
     setup_logs verbose;
     let app = waters ~labels_per_edge in
     let results = Letdma.Experiment.alpha_sweep ~time_limit_s:time_limit app in
-    Fmt.pr "%a@." Letdma.Report.alpha_sweep results
+    Fmt.pr "%a@." Letdma.Report.alpha_sweep results;
+    0
   in
   Cmd.v
     (Cmd.info "alpha-sweep"
@@ -175,7 +255,8 @@ let objective_t =
 
 let alpha_t =
   Arg.(
-    value & opt float 0.2
+    value
+    & opt (positive_float "alpha") 0.2
     & info [ "alpha" ] ~docv:"ALPHA"
         ~doc:"Sensitivity factor for data-acquisition deadlines.")
 
@@ -186,6 +267,7 @@ let heuristic_t =
 
 let solve_cmd =
   let run verbose time_limit labels_per_edge objective alpha heuristic =
+    guard @@ fun () ->
     setup_logs verbose;
     let app = waters ~labels_per_edge in
     let solver =
@@ -194,14 +276,15 @@ let solve_cmd =
     in
     match Letdma.Experiment.run_config ~solver app ~alpha with
     | Error e ->
-      Fmt.epr "error: %s@." e;
-      exit 1
+      err "%s" (Letdma.Experiment.error_to_string e);
+      exit_of_experiment_error e
     | Ok r ->
       Fmt.pr "%a@.@.%a@."
         (Letdma.Solution.pp app)
         r.Letdma.Experiment.solution
         (fun ppf -> Letdma.Report.fig2_subplot ppf app)
-        r
+        r;
+      0
   in
   Cmd.v
     (Cmd.info "solve"
@@ -210,10 +293,105 @@ let solve_cmd =
       const run $ verbose_t $ time_limit_t $ labels_per_edge_t $ objective_t
       $ alpha_t $ heuristic_t)
 
+(* --- pipeline --------------------------------------------------------- *)
+
+let pipeline_cmd =
+  let budget_t =
+    Arg.(
+      value
+      & opt (positive_float "budget") 60.0
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Total wall-clock budget shared by every rung of the ladder \
+             (MILP rounds, perturbed retry, fallbacks).")
+  in
+  let run verbose labels_per_edge objective alpha budget =
+    guard @@ fun () ->
+    setup_logs verbose;
+    let app = waters ~labels_per_edge in
+    match Letdma.Pipeline.run ~objective ~budget_s:budget ~alpha app with
+    | Ok o ->
+      Fmt.pr "%a@." (Letdma.Pipeline.pp_outcome app) o;
+      0
+    | Error f ->
+      err "%s" (Letdma.Pipeline.failure_to_string f);
+      (match f with
+       | Letdma.Pipeline.Invalid_model _ -> exit_invalid_model
+       | Letdma.Pipeline.No_communications | Letdma.Pipeline.Unschedulable _ ->
+         exit_unschedulable
+       | Letdma.Pipeline.Exhausted _ -> exit_no_solution)
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:
+         "Run the hardened solve pipeline (validation, certification, \
+          degradation ladder) and report which rung produced the accepted \
+          solution.")
+    Term.(
+      const run $ verbose_t $ labels_per_edge_t $ objective_t $ alpha_t
+      $ budget_t)
+
+(* --- fault injection -------------------------------------------------- *)
+
+let faults_cmd =
+  let intensities_t =
+    Arg.(
+      value
+      & opt (list (nonneg_float "intensity")) [ 0.0; 0.1; 0.5; 1.0; 2.0; 5.0 ]
+      & info [ "intensities" ] ~docv:"X,Y,..."
+          ~doc:"Fault intensities to sweep (see Faults.at_intensity).")
+  in
+  let run verbose labels_per_edge alpha seed intensities =
+    guard @@ fun () ->
+    setup_logs verbose;
+    let app = waters ~labels_per_edge in
+    let groups = Groups.compute app in
+    match Rt_analysis.Sensitivity.gammas app ~alpha with
+    | None ->
+      err "task set unschedulable at zero jitter";
+      exit_unschedulable
+    | Some s when not s.Rt_analysis.Sensitivity.schedulable ->
+      err "task set unschedulable with alpha=%.2f jitter bound" alpha;
+      exit_unschedulable
+    | Some s -> (
+      let gamma = s.Rt_analysis.Sensitivity.gamma in
+      match Letdma.Heuristic.solve app groups ~gamma with
+      | Error e ->
+        err "heuristic: %s" e;
+        exit_no_solution
+      | Ok solution ->
+        let schedule = Letdma.Solution.schedule app groups solution in
+        let reports =
+          Dma_sim.Robustness.sweep ~seed ~intensities app groups schedule
+        in
+        Fmt.pr "== FAULT INJECTION (seed %d) ==@." seed;
+        List.iter
+          (fun r -> Fmt.pr "%a@." Dma_sim.Robustness.pp_report r)
+          reports;
+        (match
+           List.find_opt
+             (fun r -> not (Dma_sim.Robustness.survives r))
+             reports
+         with
+         | None -> Fmt.pr "all properties survive every swept intensity@."
+         | Some r ->
+           Fmt.pr "properties first break at intensity %g@." r.intensity);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Stress a certified schedule under the seeded DMA fault model and \
+          report which LET properties survive at each intensity.")
+    Term.(
+      const run $ verbose_t $ labels_per_edge_t $ alpha_t $ seed_t
+      $ intensities_t)
+
 (* --- random workload --------------------------------------------------- *)
 
 let random_cmd =
   let run verbose time_limit seed =
+    guard @@ fun () ->
     setup_logs verbose;
     let app = Workload.Generator.random ~seed () in
     Fmt.pr "%a@." App.pp app;
@@ -225,9 +403,11 @@ let random_cmd =
         app ~alpha:0.3
     with
     | Error e ->
-      Fmt.epr "error: %s@." e;
-      exit 1
-    | Ok r -> Fmt.pr "%a@." (fun ppf -> Letdma.Report.fig2_subplot ppf app) r
+      err "%s" (Letdma.Experiment.error_to_string e);
+      exit_of_experiment_error e
+    | Ok r ->
+      Fmt.pr "%a@." (fun ppf -> Letdma.Report.fig2_subplot ppf app) r;
+      0
   in
   Cmd.v
     (Cmd.info "random"
@@ -240,6 +420,16 @@ let main =
        ~doc:
          "Optimal memory allocation and scheduling for DMA data transfers \
           under the LET paradigm (DAC 2021 reproduction).")
-    [ info_cmd; fig1_cmd; fig2_cmd; table1_cmd; alpha_cmd; solve_cmd; random_cmd ]
+    [
+      info_cmd;
+      fig1_cmd;
+      fig2_cmd;
+      table1_cmd;
+      alpha_cmd;
+      solve_cmd;
+      pipeline_cmd;
+      faults_cmd;
+      random_cmd;
+    ]
 
-let () = exit (Cmd.eval main)
+let () = exit (Cmd.eval' main)

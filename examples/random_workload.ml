@@ -36,7 +36,9 @@ let () =
           | Ok r ->
             Fmt.pr "  %-10s %2d transfers, worst lambda/gamma = %.4f@." name
               r.Letdma.Experiment.num_transfers (worst_criticality app r)
-          | Error e -> Fmt.pr "  %-10s failed: %s@." name e)
+          | Error e ->
+            Fmt.pr "  %-10s failed: %s@." name
+              (Letdma.Experiment.error_to_string e))
         [
           ("heuristic", Letdma.Experiment.Heuristic);
           ( "milp",

@@ -16,7 +16,7 @@ let () =
     Letdma.Experiment.milp ~time_limit_s:20.0 Letdma.Formulation.Min_delay_ratio
   in
   match Letdma.Experiment.run_config ~solver app ~alpha:0.2 with
-  | Error e -> Fmt.epr "failed: %s@." e
+  | Error e -> Fmt.epr "failed: %s@." (Letdma.Experiment.error_to_string e)
   | Ok r ->
     Fmt.pr "%a@.@." (Letdma.Solution.pp app) r.Letdma.Experiment.solution;
     Fmt.pr "%a@." (fun ppf -> Letdma.Report.fig2_subplot ppf app) r

@@ -2,6 +2,8 @@
     (Section V.B) and of the Giotto baselines, with timeline traces and
     VCD waveform export. *)
 
+module Faults = Faults
+module Robustness = Robustness
 module Sim = Sim
 module Trace = Trace
 module Vcd = Vcd

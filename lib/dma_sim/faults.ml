@@ -1,0 +1,124 @@
+open Rt_model
+
+(* Seeded fault model for the DMA engine. The design constraint that
+   shapes everything here: a model whose rates are all zero must leave
+   the simulation bit-for-bit identical to a fault-free run. Hence every
+   draw function short-circuits before touching the generator when its
+   rate is zero — the generator state then never diverges, and neither
+   do any computed times. *)
+
+type model = {
+  seed : int;
+  latency_stretch : float;
+  transient_fail_rate : float;
+  max_retries : int;
+  drop_isr_rate : float;
+  isr_timeout : Time.t;
+}
+
+let none =
+  {
+    seed = 0;
+    latency_stretch = 0.0;
+    transient_fail_rate = 0.0;
+    max_retries = 0;
+    drop_isr_rate = 0.0;
+    isr_timeout = Time.zero;
+  }
+
+let make ?(latency_stretch = 0.0) ?(transient_fail_rate = 0.0)
+    ?(max_retries = 3) ?(drop_isr_rate = 0.0)
+    ?(isr_timeout = Time.of_us 10) ~seed () =
+  let check_rate what r =
+    if not (r >= 0.0 && r < 1.0) then
+      invalid_arg (Printf.sprintf "Faults.make: %s %g not in [0, 1)" what r)
+  in
+  if not (latency_stretch >= 0.0) then
+    invalid_arg
+      (Printf.sprintf "Faults.make: latency stretch %g negative" latency_stretch);
+  check_rate "transient failure rate" transient_fail_rate;
+  check_rate "dropped-interrupt rate" drop_isr_rate;
+  if max_retries < 0 then
+    invalid_arg (Printf.sprintf "Faults.make: max retries %d negative" max_retries);
+  if Time.compare isr_timeout Time.zero < 0 then
+    invalid_arg "Faults.make: negative interrupt timeout";
+  { seed; latency_stretch; transient_fail_rate; max_retries; drop_isr_rate; isr_timeout }
+
+let at_intensity ?(seed = 42) x =
+  if not (x >= 0.0) then
+    invalid_arg (Printf.sprintf "Faults.at_intensity: intensity %g negative" x);
+  make ~latency_stretch:x
+    ~transient_fail_rate:(Float.min 0.9 (0.5 *. x))
+    ~drop_isr_rate:(Float.min 0.9 (0.25 *. x))
+    ~isr_timeout:(Time.of_us 10) ~seed ()
+
+let is_zero m =
+  m.latency_stretch = 0.0 && m.transient_fail_rate = 0.0
+  && m.drop_isr_rate = 0.0
+
+let pp_model ppf m =
+  Fmt.pf ppf
+    "@[<h>faults{seed=%d stretch=%g fail=%g retries<=%d drop_isr=%g timeout=%a}@]"
+    m.seed m.latency_stretch m.transient_fail_rate m.max_retries
+    m.drop_isr_rate Time.pp m.isr_timeout
+
+type stats = {
+  mutable retries : int;
+  mutable dropped_isrs : int;
+  mutable stretch_total : Time.t;
+  mutable faulty_transfers : int;
+}
+
+type t = { model : model; rng : Random.State.t; st : stats }
+
+let create model =
+  {
+    model;
+    rng = Random.State.make [| model.seed; 0x5e3d |];
+    st =
+      { retries = 0; dropped_isrs = 0; stretch_total = Time.zero; faulty_transfers = 0 };
+  }
+
+let model t = t.model
+let stats t = t.st
+
+let copy_time t nominal =
+  if t.model.latency_stretch <= 0.0 then nominal
+  else begin
+    let u = Random.State.float t.rng 1.0 in
+    let extra_ns =
+      int_of_float
+        (Float.round (u *. t.model.latency_stretch *. float_of_int (Time.to_ns nominal)))
+    in
+    if extra_ns > 0 then begin
+      t.st.stretch_total <- Time.(t.st.stretch_total + Time.of_ns extra_ns);
+      t.st.faulty_transfers <- t.st.faulty_transfers + 1
+    end;
+    Time.(nominal + Time.of_ns extra_ns)
+  end
+
+let attempts t =
+  if t.model.transient_fail_rate <= 0.0 then 1
+  else begin
+    let n = ref 1 in
+    while
+      !n <= t.model.max_retries
+      && Random.State.float t.rng 1.0 < t.model.transient_fail_rate
+    do
+      incr n
+    done;
+    if !n > 1 then begin
+      t.st.retries <- t.st.retries + (!n - 1);
+      t.st.faulty_transfers <- t.st.faulty_transfers + 1
+    end;
+    !n
+  end
+
+let isr_delay t =
+  if t.model.drop_isr_rate <= 0.0 then Time.zero
+  else if Random.State.float t.rng 1.0 < t.model.drop_isr_rate then begin
+    t.st.dropped_isrs <- t.st.dropped_isrs + 1;
+    t.st.faulty_transfers <- t.st.faulty_transfers + 1;
+    t.model.isr_timeout
+  end
+  else Time.zero

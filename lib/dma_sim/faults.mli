@@ -1,0 +1,97 @@
+(** Seeded DMA fault model.
+
+    The paper assumes the platform meets its nominal cost model exactly:
+    every transfer takes o_DP + copy + o_ISR. Deployed DMA engines do not
+    — bus contention stretches copies, transient errors force the driver
+    to re-program a channel, and completion interrupts occasionally get
+    lost and are only recovered by a timeout. This module captures those
+    three deviations as a seeded stochastic model that {!Sim.run} can
+    inject, so certified schedules can be stress-tested (see
+    {!Robustness}).
+
+    All randomness comes from a private [Random.State] derived from
+    [seed]: two runs with the same model produce identical fault
+    sequences, and a model whose rates are all zero never consults the
+    generator at all — the simulation is then byte-identical to a
+    fault-free run. *)
+
+open Rt_model
+
+type model = private {
+  seed : int;
+  latency_stretch : float;
+      (** each copy is stretched by a uniform factor in
+          [1, 1 + latency_stretch]; must be >= 0 *)
+  transient_fail_rate : float;
+      (** probability in [0, 1) that a transfer attempt fails and must be
+          re-programmed from scratch *)
+  max_retries : int;
+      (** bound on re-programming attempts per transfer; after this many
+          failures the transfer is forced through (>= 0) *)
+  drop_isr_rate : float;
+      (** probability in [0, 1) that the completion interrupt is lost and
+          completion is only observed after [isr_timeout] *)
+  isr_timeout : Time.t;  (** recovery delay for a lost interrupt *)
+}
+
+(** The fault-free model: all rates zero. Injecting it is guaranteed to
+    reproduce the unfaulted simulation exactly. *)
+val none : model
+
+(** [make ()] validates every field (rates in range, nonnegative stretch
+    and retries). Raises [Invalid_argument] otherwise. *)
+val make :
+  ?latency_stretch:float ->
+  ?transient_fail_rate:float ->
+  ?max_retries:int ->
+  ?drop_isr_rate:float ->
+  ?isr_timeout:Time.t ->
+  seed:int ->
+  unit ->
+  model
+
+(** [at_intensity ?seed x] maps a scalar intensity [x >= 0] onto a model:
+    stretch [x], transient failures at [min 0.9 (0.5 x)], dropped
+    interrupts at [min 0.9 (0.25 x)] with a 10 us timeout. [x = 0] yields
+    a model equivalent to {!none}. Used by the {!Robustness} sweeps. *)
+val at_intensity : ?seed:int -> float -> model
+
+(** True when every rate is zero — injection cannot alter the schedule. *)
+val is_zero : model -> bool
+
+val pp_model : Format.formatter -> model -> unit
+
+(** Cumulative injection counters, filled in while a simulation runs. *)
+type stats = {
+  mutable retries : int;  (** failed attempts that were re-programmed *)
+  mutable dropped_isrs : int;
+  mutable stretch_total : Time.t;
+      (** total extra copy time from latency stretching *)
+  mutable faulty_transfers : int;
+      (** transfers hit by at least one fault *)
+}
+
+(** A live injector: the model plus its private generator and counters.
+    Create one per simulation run. *)
+type t
+
+val create : model -> t
+val model : t -> model
+val stats : t -> stats
+
+(** {1 Draws}
+
+    Each returns the perturbed quantity and updates {!stats}. When the
+    relevant rate is zero the generator is not consulted and the nominal
+    value is returned unchanged. *)
+
+(** [copy_time t nominal] is the stretched copy duration. *)
+val copy_time : t -> Time.t -> Time.t
+
+(** [attempts t] is the number of programming attempts for the next
+    transfer: 1 plus at most [max_retries] transient failures. *)
+val attempts : t -> int
+
+(** [isr_delay t] is the extra completion delay: [isr_timeout] when the
+    interrupt is dropped, zero otherwise. *)
+val isr_delay : t -> Time.t

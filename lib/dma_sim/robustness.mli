@@ -1,0 +1,68 @@
+(** Fault-injection harness: which LET properties survive, and at what
+    intensity they first break.
+
+    A certified schedule guarantees Properties 1-3 under the nominal DMA
+    cost model. This harness re-runs the simulator with a seeded
+    {!Faults} model and checks what actually survives at runtime:
+
+    - {e ordering} (Properties 1 and 2): transfer order is preserved even
+      when transfers retry or stretch, so these are re-checked
+      structurally per instant and should survive any intensity;
+    - {e Property 3}: each burst must still complete within the gap to
+      the next communication instant — latency faults break this first;
+    - {e deadlines}: every job's data must be ready within its task's
+      period (lambda_i <= T_i), the condition for the LET schedule to
+      remain meaningful at runtime.
+
+    All runs are deterministic under a fixed seed. *)
+
+open Rt_model
+open Let_sem
+
+type report = {
+  intensity : float;  (** the {!Faults.at_intensity} scalar *)
+  ordering_ok : bool;  (** Properties 1 and 2 on every instant's plan *)
+  property3_ok : bool;  (** no burst overran its cyclic gap *)
+  deadlines_ok : bool;  (** lambda_i <= T_i for every task *)
+  max_overrun : Time.t;
+      (** worst burst overrun beyond its gap (zero when [property3_ok]) *)
+  worst_ratio : float;  (** max_i lambda_i / T_i, the paper's objective *)
+  retries : int;  (** injected transient failures *)
+  dropped_isrs : int;  (** injected lost completion interrupts *)
+}
+
+(** [survives r] — the properties that must hold for the schedule to be
+    trusted at this intensity: ordering, Property 3, and deadlines. *)
+val survives : report -> bool
+
+(** [evaluate ?seed ~intensity app groups schedule] runs one hyperperiod
+    of the DMA protocol under [Faults.at_intensity intensity] and grades
+    the outcome. *)
+val evaluate :
+  ?seed:int ->
+  intensity:float ->
+  App.t ->
+  Groups.t ->
+  (Time.t -> Properties.plan) ->
+  report
+
+(** One {!evaluate} per intensity, in order. *)
+val sweep :
+  ?seed:int ->
+  intensities:float list ->
+  App.t ->
+  Groups.t ->
+  (Time.t -> Properties.plan) ->
+  report list
+
+(** First intensity of the sweep whose report fails {!survives}, with the
+    report; [None] when every intensity survives. *)
+val first_break :
+  ?seed:int ->
+  intensities:float list ->
+  App.t ->
+  Groups.t ->
+  (Time.t -> Properties.plan) ->
+  (float * report) option
+
+val pp_report : Format.formatter -> report -> unit

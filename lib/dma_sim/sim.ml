@@ -35,6 +35,7 @@ type metrics = {
   bytes_moved : int;
   busy : Time.t; (* cumulated DMA or CPU copy busy time *)
   trace : Trace.event list;
+  fault_stats : Faults.stats option; (* Some iff faults were injected *)
 }
 
 let lambda_of m task = m.lambda.(task)
@@ -48,10 +49,47 @@ let max_lambda_ratio app m =
 
 (* --- DMA burst execution ------------------------------------------- *)
 
+(* Execute one transfer starting at [t0]: channel programming, linear
+   copy, completion interrupt. Under a fault injector, each transient
+   failure re-pays programming and (stretched) copy time without a
+   completion interrupt, the final copy may also stretch, and a dropped
+   interrupt delays the ISR by the model's timeout. Without an injector —
+   or with an all-zero model, whose draws return the nominal values
+   untouched — the arithmetic and emitted events are exactly the
+   historical fault-free ones. Returns the completion time. *)
+let exec_transfer p ~inj ~record ~core ~index ~labels ~bytes ~t0 trace =
+  let nominal = Platform.dma_copy_time p bytes in
+  let stretched () =
+    match inj with None -> nominal | Some i -> Faults.copy_time i nominal
+  in
+  let n_attempts = match inj with None -> 1 | Some i -> Faults.attempts i in
+  let cursor = ref t0 in
+  for _ = 2 to n_attempts do
+    let t1 = Time.(!cursor + p.Platform.o_dp) in
+    let t2 = Time.(t1 + stretched ()) in
+    if record then begin
+      trace := Trace.Dma_program { core; index; start = !cursor; finish = t1 } :: !trace;
+      trace := Trace.Dma_copy { index; labels; bytes; start = t1; finish = t2 } :: !trace
+    end;
+    cursor := t2
+  done;
+  let t1 = Time.(!cursor + p.Platform.o_dp) in
+  let t2 = Time.(t1 + stretched ()) in
+  let isr_start =
+    match inj with None -> t2 | Some i -> Time.(t2 + Faults.isr_delay i)
+  in
+  let t3 = Time.(isr_start + p.Platform.o_isr) in
+  if record then begin
+    trace := Trace.Dma_program { core; index; start = !cursor; finish = t1 } :: !trace;
+    trace := Trace.Dma_copy { index; labels; bytes; start = t1; finish = t2 } :: !trace;
+    trace := Trace.Dma_isr { core; index; start = isr_start; finish = t3 } :: !trace
+  end;
+  t3
+
 (* Executes the transfers of one instant back to back on the DMA engine,
    starting no earlier than [at] and than the engine's availability.
    Returns per-transfer completion times. *)
-let run_dma_burst app ~record plan ~at ~dma_avail trace =
+let run_dma_burst app ?inj ~record plan ~at ~dma_avail trace =
   let p = App.platform app in
   let cursor = ref (Time.max at !dma_avail) in
   let completions =
@@ -62,25 +100,12 @@ let run_dma_burst app ~record plan ~at ~dma_avail trace =
           | c :: _ -> Comm.local_core app c
           | [] -> 0
         in
-        let t0 = !cursor in
-        let t1 = Time.(t0 + p.Platform.o_dp) in
         let bytes = Properties.transfer_bytes app transfer in
-        let t2 = Time.(t1 + Platform.dma_copy_time p bytes) in
-        let t3 = Time.(t2 + p.Platform.o_isr) in
-        if record then begin
-          trace := Trace.Dma_program { core; index = g; start = t0; finish = t1 } :: !trace;
-          trace :=
-            Trace.Dma_copy
-              {
-                index = g;
-                labels = List.map (fun c -> c.Comm.label) transfer;
-                bytes;
-                start = t1;
-                finish = t2;
-              }
-            :: !trace;
-          trace := Trace.Dma_isr { core; index = g; start = t2; finish = t3 } :: !trace
-        end;
+        let t3 =
+          exec_transfer p ~inj ~record ~core ~index:g
+            ~labels:(List.map (fun c -> c.Comm.label) transfer)
+            ~bytes ~t0:!cursor trace
+        in
         cursor := t3;
         (transfer, t3, bytes))
       plan
@@ -120,7 +145,7 @@ let plan_dependencies (plan : Properties.plan) =
 (* Execute one instant's burst on [channels] parallel DMA engines:
    transfers are taken in plan order, each starting on the earliest
    available channel once its dependencies have completed. *)
-let run_dma_burst_multi app ~record ~channels plan ~at ~chan_avail trace =
+let run_dma_burst_multi app ?inj ~record ~channels plan ~at ~chan_avail trace =
   let p = App.platform app in
   let transfers, deps = plan_dependencies plan in
   let n = Array.length transfers in
@@ -139,24 +164,12 @@ let run_dma_burst_multi app ~record ~channels plan ~at ~chan_avail trace =
     let core =
       match transfers.(g) with c :: _ -> Comm.local_core app c | [] -> 0
     in
-    let t1 = Time.(t0 + p.Platform.o_dp) in
     let bytes = Properties.transfer_bytes app transfers.(g) in
-    let t2 = Time.(t1 + Platform.dma_copy_time p bytes) in
-    let t3 = Time.(t2 + p.Platform.o_isr) in
-    if record then begin
-      trace := Trace.Dma_program { core; index = g; start = t0; finish = t1 } :: !trace;
-      trace :=
-        Trace.Dma_copy
-          {
-            index = g;
-            labels = List.map (fun c -> c.Comm.label) transfers.(g);
-            bytes;
-            start = t1;
-            finish = t2;
-          }
-        :: !trace;
-      trace := Trace.Dma_isr { core; index = g; start = t2; finish = t3 } :: !trace
-    end;
+    let t3 =
+      exec_transfer p ~inj ~record ~core ~index:g
+        ~labels:(List.map (fun c -> c.Comm.label) transfers.(g))
+        ~bytes ~t0 trace
+    in
     chan_avail.(!ch) <- t3;
     completion.(g) <- t3;
     out := (transfers.(g), t3, bytes) :: !out
@@ -226,10 +239,11 @@ let run_cpu_burst app model ~record comms ~at ~core_avail trace =
 
 (* --- main loop ------------------------------------------------------ *)
 
-let run ?(record_trace = false) ?horizon app groups mode =
+let run ?(record_trace = false) ?horizon ?faults app groups mode =
   let h = App.hyperperiod app in
   let horizon = match horizon with Some x -> x | None -> h in
   let n = App.num_tasks app in
+  let inj = Option.map Faults.create faults in
   let trace = ref [] in
   let dma_avail = ref Time.zero in
   let core_avail = Array.make (App.platform app).Platform.n_cores Time.zero in
@@ -262,8 +276,8 @@ let run ?(record_trace = false) ?horizon app groups mode =
       match mode with
       | Dma_protocol schedule ->
         let completions =
-          run_dma_burst app ~record:record_trace (schedule t) ~at:t ~dma_avail
-            trace
+          run_dma_burst app ?inj ~record:record_trace (schedule t) ~at:t
+            ~dma_avail trace
         in
         account_dma completions;
         fun task ->
@@ -277,8 +291,8 @@ let run ?(record_trace = false) ?horizon app groups mode =
             t completions
       | Dma_multi (channels, schedule) ->
         let completions =
-          run_dma_burst_multi app ~record:record_trace ~channels (schedule t)
-            ~at:t ~chan_avail trace
+          run_dma_burst_multi app ?inj ~record:record_trace ~channels
+            (schedule t) ~at:t ~chan_avail trace
         in
         account_dma completions;
         fun task ->
@@ -290,8 +304,8 @@ let run ?(record_trace = false) ?horizon app groups mode =
             t completions
       | Dma_barrier schedule ->
         let completions =
-          run_dma_burst app ~record:record_trace (schedule t) ~at:t ~dma_avail
-            trace
+          run_dma_burst app ?inj ~record:record_trace (schedule t) ~at:t
+            ~dma_avail trace
         in
         account_dma completions;
         let burst_end =
@@ -340,6 +354,7 @@ let run ?(record_trace = false) ?horizon app groups mode =
     bytes_moved = !bytes_total;
     busy = !busy_total;
     trace = Trace.sort_events !trace;
+    fault_stats = Option.map Faults.stats inj;
   }
 
 let pp_metrics app ppf m =

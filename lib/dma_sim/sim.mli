@@ -43,6 +43,8 @@ type metrics = {
   bytes_moved : int;
   busy : Time.t;  (** cumulated DMA/CPU communication busy time *)
   trace : Trace.event list;  (** time-sorted; empty unless requested *)
+  fault_stats : Faults.stats option;
+      (** injection counters; [Some] iff [run] was given a fault model *)
 }
 
 val lambda_of : metrics -> int -> Time.t
@@ -52,8 +54,17 @@ val max_lambda_ratio : App.t -> metrics -> float
 
 (** [run app groups mode] simulates [0, horizon) (default one
     hyperperiod). The schedule functions receive each communication
-    instant and must return the ordered transfer plan for that instant. *)
+    instant and must return the ordered transfer plan for that instant.
+    [faults] injects the given seeded fault model into every DMA transfer
+    (see {!Faults}); an all-zero model reproduces the fault-free run
+    exactly. *)
 val run :
-  ?record_trace:bool -> ?horizon:Time.t -> App.t -> Groups.t -> mode -> metrics
+  ?record_trace:bool ->
+  ?horizon:Time.t ->
+  ?faults:Faults.model ->
+  App.t ->
+  Groups.t ->
+  mode ->
+  metrics
 
 val pp_metrics : App.t -> Format.formatter -> metrics -> unit

@@ -25,11 +25,32 @@ let solver_name = function
   | Milp { objective; _ } -> Formulation.objective_name objective
   | Heuristic -> "HEURISTIC"
 
+(* Typed failure of one configuration; [error_to_string] preserves the
+   historical one-line messages consumed by the reports and the CLI. *)
+type error =
+  | No_communications
+  | Unschedulable of float option (* None: already at zero jitter *)
+  | No_solution of { alpha : float; solver_name : string }
+  | Uncertified of Certify.source * Certify.violation list
+
+let error_to_string = function
+  | No_communications -> "no inter-core communications"
+  | Unschedulable None -> "task set unschedulable at zero jitter"
+  | Unschedulable (Some alpha) ->
+    Fmt.str "task set unschedulable with alpha=%.2f jitter bound" alpha
+  | No_solution { alpha; solver_name } ->
+    Fmt.str "solver found no feasible plan (alpha=%.2f, %s)" alpha solver_name
+  | Uncertified (source, violations) ->
+    Fmt.str "%s solution failed certification (%d violations)"
+      (Certify.source_name source)
+      (List.length violations)
+
 type config_result = {
   alpha : float;
   solver : solver;
   gamma : Time.t array;
   solution : Solution.t;
+  certificate : Certify.t; (* every accepted configuration is certified *)
   solve_stats : Solve.stats option; (* None for the heuristic *)
   num_transfers : int; (* DMA transfers at s0 — Table I's metric *)
   metrics : (Baselines.approach * Sim.metrics) list;
@@ -60,18 +81,24 @@ let best_improvement r approach =
 let run_config ?(cpu_model = Sim.Parallel_phases) ?(solver = Heuristic) app
     ~alpha =
   let groups = Groups.compute app in
-  if Comm.Set.is_empty (Groups.s0 groups) then
-    Error "no inter-core communications"
+  if Comm.Set.is_empty (Groups.s0 groups) then Error No_communications
   else
     match Rt_analysis.Sensitivity.gammas app ~alpha with
-    | None -> Error "task set unschedulable at zero jitter"
+    | None -> Error (Unschedulable None)
     | Some s when not s.Rt_analysis.Sensitivity.schedulable ->
-      Error (Fmt.str "task set unschedulable with alpha=%.2f jitter bound" alpha)
+      Error (Unschedulable (Some alpha))
     | Some s ->
       let gamma = s.Rt_analysis.Sensitivity.gamma in
-      let solution, solve_stats =
+      let solution, solve_stats, certificate =
         match solver with
-        | Heuristic -> (Heuristic.solve_unchecked app groups ~gamma, None)
+        | Heuristic ->
+          let sol = Heuristic.solve_unchecked app groups ~gamma in
+          let cert =
+            Option.map
+              (Certify.certify ~source:Certify.Heuristic app groups ~gamma)
+              sol
+          in
+          (sol, None, cert)
         | Milp { objective; options; time_limit_s; node_limit; warm_start } ->
           let warm =
             if warm_start then
@@ -91,14 +118,19 @@ let run_config ?(cpu_model = Sim.Parallel_phases) ?(solver = Heuristic) app
             Solve.solve ~options ~time_limit_s ~node_limit ?warm objective app
               groups ~gamma
           in
-          (r.Solve.solution, Some r.Solve.stats)
+          (r.Solve.solution, Some r.Solve.stats, r.Solve.certificate)
       in
-      (match solution with
-       | None ->
-         Error
-           (Fmt.str "solver found no feasible plan (alpha=%.2f, %s)" alpha
-              (solver_name solver))
-       | Some solution ->
+      (match (solution, certificate) with
+       | None, _ | _, None ->
+         Error (No_solution { alpha; solver_name = solver_name solver })
+       | Some _, Some (Error violations) ->
+         let source =
+           match solver with
+           | Heuristic -> Certify.Heuristic
+           | Milp _ -> Certify.Milp_incumbent
+         in
+         Error (Uncertified (source, violations))
+       | Some solution, Some (Ok certificate) ->
          let metrics =
            List.map
              (fun a ->
@@ -111,6 +143,7 @@ let run_config ?(cpu_model = Sim.Parallel_phases) ?(solver = Heuristic) app
              solver;
              gamma;
              solution;
+             certificate;
              solve_stats;
              num_transfers = Solution.num_transfers solution;
              metrics;
@@ -161,7 +194,8 @@ let table1_of_results results =
              | None -> "heuristic");
         }
       | Error e ->
-        { objective; t_alpha = alpha; time_s = None; transfers = None; status = e })
+        { objective; t_alpha = alpha; time_s = None; transfers = None;
+          status = error_to_string e })
     results
 
 let table1 ?(alphas = [ 0.2; 0.4 ])
@@ -190,7 +224,8 @@ let table1 ?(alphas = [ 0.2; 0.4 ])
                  | None -> "heuristic");
             }
           | Error e ->
-            { objective; t_alpha = alpha; time_s = None; transfers = None; status = e })
+            { objective; t_alpha = alpha; time_s = None; transfers = None;
+          status = error_to_string e })
         alphas)
     objectives
 

@@ -10,10 +10,17 @@
       ablations);
     - {!Baselines}: the Giotto-CPU / Giotto-DMA-A / Giotto-DMA-B baselines
       of the evaluation;
+    - {!Certify}: independent re-verification of every solved
+      configuration (MILP residuals, layout rules, LET Properties 1-3);
+    - {!Pipeline}: the hardened entry point — model validation, one
+      global deadline, and the MILP -> perturbed MILP -> heuristic ->
+      baseline degradation ladder;
     - {!Experiment} and {!Report}: the Fig. 2 / Table I / alpha-sweep
       pipelines and their plain-text rendering. *)
 
+module Certify = Certify
 module Formulation = Formulation
+module Pipeline = Pipeline
 module Solve = Solve
 module Solution = Solution
 module Heuristic = Heuristic

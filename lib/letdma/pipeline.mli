@@ -1,0 +1,85 @@
+(** Hardened solve pipeline: validation, one global deadline, and a
+    graceful degradation ladder.
+
+    The paper's workflow trusts its solver and feeds it well-formed
+    inputs by construction. This entry point assumes neither. It first
+    validates the application model (single writer per label, positive
+    periods and sizes, labels fit their memories, cores not overloaded),
+    then walks a ladder of solving rungs under one shared wall-clock
+    budget:
+
+    + {b MILP} — the lazy-Constraint-6 branch-and-bound driver;
+    + {b MILP, perturbed} — on timeout, numerical failure or a failed
+      certificate: one retry with slightly tightened gamma bounds, the
+      alternate branch-and-bound engine and no warm start (a different
+      search trajectory that dodges the failure mode while any solution
+      it finds is still certified against the {e original} deadlines);
+    + {b heuristic} — the greedy scheduler/allocator;
+    + {b baseline} — identity allocation with singleton Giotto transfers,
+      which exists whenever the model is valid and communications exist.
+
+    Every rung's output is re-verified by {!Certify} before being
+    accepted; the outcome records which rung produced the accepted
+    solution and why the earlier rungs were rejected. *)
+
+open Rt_model
+open Let_sem
+
+(** Model problems found by {!validate_app} (empty list = valid). *)
+val validate_app : App.t -> string list
+
+type rung = Milp | Milp_perturbed | Heuristic | Baseline
+
+val rung_name : rung -> string
+
+(** One tried rung and why it was (not) accepted. *)
+type attempt = { rung : rung; accepted : bool; reason : string; time_s : float }
+
+type failure =
+  | Invalid_model of string list
+  | No_communications  (** nothing for the DMA to do *)
+  | Unschedulable of float  (** no gamma exists at this [alpha] *)
+  | Exhausted of attempt list  (** every rung failed certification *)
+
+val failure_to_string : failure -> string
+
+type outcome = {
+  rung : rung;  (** the rung whose solution was accepted *)
+  solution : Solution.t;
+  certificate : Certify.t;
+  gamma : Time.t array;
+  attempts : attempt list;  (** in ladder order, accepted rung last *)
+  solve_stats : Solve.stats option;  (** of the accepted MILP rung *)
+  total_time_s : float;
+}
+
+val pp_outcome : App.t -> Format.formatter -> outcome -> unit
+
+(** The MILP rung, as a replaceable hook — the default wraps
+    {!Solve.solve}. Tests substitute a misbehaving solver to exercise the
+    certification-failure path of the ladder. *)
+type milp_solver =
+  deadline_s:float ->
+  engine:Solve.engine ->
+  warm:Solution.t option ->
+  options:Formulation.options ->
+  Formulation.objective ->
+  App.t ->
+  Groups.t ->
+  gamma:Time.t array ->
+  Solve.result
+
+(** [run app] validates, computes gamma at [alpha] (default [0.2]) and
+    walks the ladder under [budget_s] (default [60] s) of total wall
+    time. [objective], [options], [engine] configure the MILP rungs;
+    [warm_start] (default true) seeds them with the heuristic. *)
+val run :
+  ?milp_solve:milp_solver ->
+  ?objective:Formulation.objective ->
+  ?options:Formulation.options ->
+  ?engine:Solve.engine ->
+  ?warm_start:bool ->
+  ?budget_s:float ->
+  ?alpha:float ->
+  App.t ->
+  (outcome, failure) result

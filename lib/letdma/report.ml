@@ -57,7 +57,7 @@ let fig2 ppf app results =
       | Error e ->
         Fmt.pf ppf "alpha=%.1f %s: FAILED (%s)@,@," alpha
           (Formulation.objective_name objective)
-          e)
+          (Experiment.error_to_string e))
     results;
   Fmt.pf ppf "@]"
 
@@ -133,6 +133,8 @@ let alpha_sweep ppf results =
           r.Experiment.gamma;
         Fmt.pf ppf "alpha=%.1f: feasible, %d transfers, max lambda/gamma %.4f@,"
           alpha r.Experiment.num_transfers !worst
-      | Error e -> Fmt.pf ppf "alpha=%.1f: infeasible (%s)@," alpha e)
+      | Error e ->
+        Fmt.pf ppf "alpha=%.1f: infeasible (%s)@," alpha
+          (Experiment.error_to_string e))
     results;
   Fmt.pf ppf "@]"

@@ -25,6 +25,9 @@ type stats = {
 
 type result = {
   solution : Solution.t option;
+  x : float array option; (* the accepted raw MILP assignment *)
+  certificate : (Certify.t, Certify.violation list) Stdlib.result option;
+      (* independent re-verification of [solution]; [None] iff no solution *)
   stats : stats;
   instance : Formulation.instance;
 }
@@ -70,9 +73,13 @@ let find_violations inst (sol : Solution.t) =
   !violations
 
 let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
-    ?(node_limit = 200_000) ?(max_rounds = 50) ?(engine = Best_first) ?warm
-    objective app groups ~gamma =
+    ?deadline_s ?(node_limit = 200_000) ?(max_rounds = 50) ?(engine = Best_first)
+    ?warm objective app groups ~gamma =
   let t0 = Unix.gettimeofday () in
+  (* One absolute wall-clock deadline shared by every lazy round (and, via
+     [deadline_s], by every rung of a degradation ladder): k rounds can
+     never consume ~k times the budget. *)
+  let deadline = match deadline_s with Some d -> d | None -> t0 +. time_limit_s in
   let inst = Formulation.make ~options objective app groups ~gamma in
   Log.info (fun f -> f "built %s model: %s"
                (Formulation.objective_name objective)
@@ -99,8 +106,7 @@ let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
   let c6_total = ref 0 in
   let nodes_total = ref 0 in
   let rec loop round =
-    let elapsed = Unix.gettimeofday () -. t0 in
-    let remaining = time_limit_s -. elapsed in
+    let remaining = deadline -. Unix.gettimeofday () in
     if remaining <= 0.5 || round > max_rounds then
       (None, Milp.Branch_bound.Unknown, None, round - 1)
     else begin
@@ -115,7 +121,7 @@ let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
         let sol = Formulation.decode inst x in
         (match find_violations inst sol with
          | [] ->
-           (Some sol, bb.Milp.Branch_bound.status, bb.Milp.Branch_bound.stats.Milp.Branch_bound.gap, round)
+           (Some (sol, x), bb.Milp.Branch_bound.status, bb.Milp.Branch_bound.stats.Milp.Branch_bound.gap, round)
          | violations ->
            let added =
              List.fold_left
@@ -134,21 +140,43 @@ let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
            else loop (round + 1))
     end
   in
-  let solution, status, gap, rounds = loop 1 in
-  (* final validation of accepted solutions *)
-  (match solution with
-   | Some sol ->
-     (match Solution.validate app groups sol with
-      | Ok () -> ()
-      | Error e ->
-        if inst.Formulation.options.Formulation.strict_property3 then
-          Log.err (fun f -> f "solution failed validation: %s" e)
-        else
-          Log.warn (fun f ->
-              f "solution fails strict validation (paper-mode Constraint 10): %s" e))
-   | None -> ());
+  let accepted, status, gap, rounds = loop 1 in
+  let solution = Option.map fst accepted in
+  let x = Option.map snd accepted in
+  (* independent certification of accepted solutions: the decoded
+     configuration is re-verified from first principles, including the raw
+     assignment against every MILP row *)
+  let certificate =
+    match accepted with
+    | None -> None
+    | Some (sol, x) ->
+      let source =
+        match status with
+        | Milp.Branch_bound.Optimal -> Certify.Milp_optimal
+        | _ -> Certify.Milp_incumbent
+      in
+      let cert =
+        Certify.certify ~milp:(inst, x) ~source app groups ~gamma sol
+      in
+      (match cert with
+       | Ok c ->
+         Log.info (fun f ->
+             f "solution certified (%s, %d checks)" (Certify.source_name source)
+               c.Certify.checks)
+       | Error vs ->
+         if inst.Formulation.options.Formulation.strict_property3 then
+           Log.err (fun f ->
+               f "solution failed certification (%d violations)" (List.length vs))
+         else
+           Log.warn (fun f ->
+               f "solution fails strict certification (paper-mode Constraint 10): \
+                  %d violations" (List.length vs)));
+      Some cert
+  in
   {
     solution;
+    x;
+    certificate;
     stats =
       {
         rounds;

@@ -145,6 +145,7 @@ let of_string text =
   let sections = ref [] in
   let current = ref None in
   let body = Buffer.create 256 in
+  let stray = ref None in
   let flush () =
     match !current with
     | Some s ->
@@ -159,11 +160,20 @@ let of_string text =
         flush ();
         current := Some s
       | None ->
+        (* content before the first section header is not LP format *)
+        if !current = None && String.trim line <> "" && !stray = None then
+          stray := Some (String.trim line);
         Buffer.add_string body line;
         Buffer.add_char body '\n')
     lines;
   flush ();
   let sections = List.rev !sections in
+  let* () =
+    match (!stray, sections) with
+    | Some s, _ -> Error (Fmt.str "not an LP file: stray text %S before any section" s)
+    | None, [] -> Error "not an LP file: no sections found"
+    | None, _ -> Ok ()
+  in
   let p = Problem.create () in
   let vars = Hashtbl.create 64 in
   let var name =
@@ -213,6 +223,8 @@ let of_string text =
            | Cmp sense :: rhs_tokens ->
              let rhs_terms, trailing = parse_linexpr rhs_tokens in
              if trailing <> [] then Error "trailing tokens in constraint"
+             else if rhs_terms = [] then
+               Error (Fmt.str "constraint without right-hand side: %S" line)
              else begin
                let rhs_expr = expr_of rhs_terms in
                if Linexpr.num_terms rhs_expr <> 0 then

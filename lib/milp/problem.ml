@@ -266,31 +266,77 @@ let to_lp_string t =
   Buffer.add_string buf "End\n";
   Buffer.contents buf
 
+(* Residual check of a full assignment: every bound, integrality
+   requirement and constraint row re-evaluated from the model data, with
+   the violation magnitude. The basis for independent certification of
+   solver output (a solver bug or numerical drift shows up here). *)
+
+type residual_kind = Bad_length | Bound | Integrality | Row
+
+type residual = {
+  res_kind : residual_kind;
+  res_name : string;
+  res_amount : float; (* violation beyond the tolerance's reach *)
+}
+
+let residuals ?(eps = 1.0e-6) t x =
+  if Array.length x <> num_vars t then
+    [
+      {
+        res_kind = Bad_length;
+        res_name =
+          Printf.sprintf "assignment has %d entries, model has %d variables"
+            (Array.length x) (num_vars t);
+        res_amount = Float.abs (float_of_int (Array.length x - num_vars t));
+      };
+    ]
+  else begin
+    let violations = ref [] in
+    let push kind name amount =
+      violations := { res_kind = kind; res_name = name; res_amount = amount } :: !violations
+    in
+    Vec.iteri
+      (fun i vi ->
+        if x.(i) < vi.v_lo -. eps then push Bound vi.v_name (vi.v_lo -. x.(i))
+        else if x.(i) > vi.v_hi +. eps then push Bound vi.v_name (x.(i) -. vi.v_hi);
+        match vi.v_kind with
+        | Integer | Binary ->
+          let frac = Float.abs (x.(i) -. Float.round x.(i)) in
+          if frac > eps then push Integrality vi.v_name frac
+        | Continuous -> ())
+      t.vars;
+    Vec.iter
+      (fun c ->
+        let v = Linexpr.eval c.c_expr x in
+        let amount =
+          match c.c_sense with
+          | Le -> v -. c.c_rhs
+          | Ge -> c.c_rhs -. v
+          | Eq -> Float.abs (v -. c.c_rhs)
+        in
+        if amount > eps then push Row c.c_name amount)
+      t.constrs;
+    List.rev !violations
+  end
+
+let pp_residual ppf r =
+  match r.res_kind with
+  | Bad_length -> Fmt.pf ppf "%s" r.res_name
+  | Bound -> Fmt.pf ppf "bounds of %s (by %g)" r.res_name r.res_amount
+  | Integrality -> Fmt.pf ppf "integrality of %s (by %g)" r.res_name r.res_amount
+  | Row -> Fmt.pf ppf "%s (by %g)" r.res_name r.res_amount
+
 (* Feasibility check of a full assignment, used for warm incumbents and
-   property tests. *)
-let check_solution ?(eps = 1.0e-6) t x =
-  let violations = ref [] in
+   property tests. Kept as the residual list rendered to the historical
+   string form. *)
+let check_solution ?eps t x =
   if Array.length x <> num_vars t then
     invalid_arg "Problem.check_solution: wrong assignment length";
-  Vec.iteri
-    (fun i vi ->
-      if x.(i) < vi.v_lo -. eps || x.(i) > vi.v_hi +. eps then
-        violations := Printf.sprintf "bounds of %s" vi.v_name :: !violations;
-      match vi.v_kind with
-      | Integer | Binary ->
-        if Float.abs (x.(i) -. Float.round x.(i)) > eps then
-          violations := Printf.sprintf "integrality of %s" vi.v_name :: !violations
-      | Continuous -> ())
-    t.vars;
-  Vec.iter
-    (fun c ->
-      let v = Linexpr.eval c.c_expr x in
-      let ok =
-        match c.c_sense with
-        | Le -> v <= c.c_rhs +. eps
-        | Ge -> v >= c.c_rhs -. eps
-        | Eq -> Float.abs (v -. c.c_rhs) <= eps
-      in
-      if not ok then violations := c.c_name :: !violations)
-    t.constrs;
-  List.rev !violations
+  List.map
+    (fun r ->
+      match r.res_kind with
+      | Bad_length -> r.res_name
+      | Bound -> Printf.sprintf "bounds of %s" r.res_name
+      | Integrality -> Printf.sprintf "integrality of %s" r.res_name
+      | Row -> r.res_name)
+    (residuals ?eps t x)

@@ -92,6 +92,29 @@ val pp_issue : Format.formatter -> issue -> unit
 (** CPLEX LP file format, for external cross-checking. *)
 val to_lp_string : t -> string
 
+(** {1 Residual checking}
+
+    Independent re-verification of solver output: every bound, integrality
+    requirement and constraint row is re-evaluated from the model data. *)
+
+type residual_kind = Bad_length | Bound | Integrality | Row
+
+type residual = {
+  res_kind : residual_kind;
+  res_name : string;  (** variable or constraint name *)
+  res_amount : float;  (** violation magnitude beyond the tolerance *)
+}
+
+(** [residuals ?eps t x] returns every violated bound / integrality
+    requirement / constraint of assignment [x], with magnitudes (empty
+    list = feasible within [eps], default [1e-6]). A wrong-length
+    assignment yields a single [Bad_length] residual — it never raises. *)
+val residuals : ?eps:float -> t -> float array -> residual list
+
+val pp_residual : Format.formatter -> residual -> unit
+
 (** [check_solution ?eps t x] returns the names of violated constraints /
-    bounds / integrality requirements (empty list = feasible). *)
+    bounds / integrality requirements (empty list = feasible). Raises
+    [Invalid_argument] on a wrong-length assignment; {!residuals} is the
+    non-raising structured form. *)
 val check_solution : ?eps:float -> t -> float array -> string list

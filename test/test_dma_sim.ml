@@ -325,8 +325,186 @@ let test_max_lambda_ratio () =
   Alcotest.(check (float 1e-9)) "ratio" 8.0e-4 (Sim.max_lambda_ratio app m)
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_faults_make_validation () =
+  let raises name f =
+    check_bool name true (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  raises "negative stretch" (fun () ->
+      Faults.make ~latency_stretch:(-0.1) ~seed:1 ());
+  raises "fail rate of 1" (fun () ->
+      Faults.make ~transient_fail_rate:1.0 ~seed:1 ());
+  raises "negative fail rate" (fun () ->
+      Faults.make ~transient_fail_rate:(-0.5) ~seed:1 ());
+  raises "drop rate of 1.5" (fun () ->
+      Faults.make ~drop_isr_rate:1.5 ~seed:1 ());
+  raises "negative retries" (fun () -> Faults.make ~max_retries:(-1) ~seed:1 ());
+  raises "negative intensity" (fun () -> Faults.at_intensity (-1.0));
+  check_bool "none is zero" true (Faults.is_zero Faults.none);
+  check_bool "intensity 0 is zero" true (Faults.is_zero (Faults.at_intensity 0.0));
+  check_bool "intensity 1 is not zero" false
+    (Faults.is_zero (Faults.at_intensity 1.0))
+
+(* The acceptance bar for the fault model: injecting a zero-rate model
+   must reproduce the fault-free simulation byte for byte — same events,
+   same timestamps, same rendered VCD. *)
+let test_zero_intensity_trace_identical () =
+  let app = fixture () in
+  let groups = Groups.compute app in
+  let mode = Sim.Dma_protocol (singleton_schedule app groups) in
+  let plain = Sim.run ~record_trace:true app groups mode in
+  List.iter
+    (fun faults ->
+      let faulted = Sim.run ~record_trace:true ~faults app groups mode in
+      check_bool "trace byte-identical" true (plain.Sim.trace = faulted.Sim.trace);
+      Alcotest.(check string) "rendered VCD byte-identical"
+        (Vcd.to_vcd app plain.Sim.trace)
+        (Vcd.to_vcd app faulted.Sim.trace);
+      Alcotest.(check string) "rendered Gantt byte-identical"
+        (Trace.render_gantt app plain.Sim.trace)
+        (Trace.render_gantt app faulted.Sim.trace);
+      Array.iteri
+        (fun i l -> check_int "lambda identical" l faulted.Sim.lambda.(i))
+        plain.Sim.lambda;
+      check_int "busy identical" plain.Sim.busy faulted.Sim.busy;
+      (* the injector ran but recorded no faults *)
+      match faulted.Sim.fault_stats with
+      | None -> Alcotest.fail "fault stats missing"
+      | Some s ->
+        check_int "no retries" 0 s.Faults.retries;
+        check_int "no dropped isrs" 0 s.Faults.dropped_isrs;
+        check_int "no stretch" 0 (Time.to_ns s.Faults.stretch_total))
+    [ Faults.none; Faults.at_intensity 0.0; Faults.at_intensity ~seed:7 0.0 ];
+  check_bool "no stats without injection" true (plain.Sim.fault_stats = None)
+
+let test_fault_injection_deterministic () =
+  let app = fixture () in
+  let groups = Groups.compute app in
+  let mode = Sim.Dma_protocol (singleton_schedule app groups) in
+  let faults = Faults.at_intensity ~seed:42 2.0 in
+  let a = Sim.run ~record_trace:true ~faults app groups mode in
+  let b = Sim.run ~record_trace:true ~faults app groups mode in
+  check_bool "same seed, same trace" true (a.Sim.trace = b.Sim.trace);
+  Array.iteri
+    (fun i l -> check_int "same seed, same lambda" l b.Sim.lambda.(i))
+    a.Sim.lambda
+
+let test_faults_only_delay () =
+  let app = fixture () in
+  let groups = Groups.compute app in
+  let mode = Sim.Dma_protocol (singleton_schedule app groups) in
+  let plain = Sim.run app groups mode in
+  let faults = Faults.at_intensity ~seed:42 5.0 in
+  let faulted = Sim.run ~faults app groups mode in
+  (* faults add time to transfers; no task can become ready earlier *)
+  Array.iteri
+    (fun i l ->
+      check_bool "latency never shrinks under faults" true
+        (Time.compare faulted.Sim.lambda.(i) l >= 0))
+    plain.Sim.lambda;
+  (* at this intensity the injector must actually have fired *)
+  match faulted.Sim.fault_stats with
+  | None -> Alcotest.fail "fault stats missing"
+  | Some s ->
+    check_bool "some fault recorded" true
+      (s.Faults.retries > 0 || s.Faults.dropped_isrs > 0
+      || Time.compare s.Faults.stretch_total Time.zero > 0)
+
+let test_robustness_sweep () =
+  let app = fixture () in
+  let groups = Groups.compute app in
+  let schedule = singleton_schedule app groups in
+  let intensities = [ 0.0; 0.5; 2.0 ] in
+  let reports = Robustness.sweep ~seed:42 ~intensities app groups schedule in
+  check_int "one report per intensity" 3 (List.length reports);
+  List.iter2
+    (fun want (r : Robustness.report) ->
+      Alcotest.(check (float 0.0)) "intensity echoed" want r.Robustness.intensity;
+      check_bool "worst ratio nonnegative" true (r.Robustness.worst_ratio >= 0.0);
+      (* consistency: a zero overrun iff Property 3 held *)
+      check_bool "overrun consistent with P3" true
+        (r.Robustness.property3_ok
+         = (Time.compare r.Robustness.max_overrun Time.zero <= 0)))
+    intensities reports;
+  (* this fixture has milliseconds of slack per 10ms period: everything
+     survives modest fault intensity *)
+  let r0 = List.hd reports in
+  check_bool "fault-free run survives" true (Robustness.survives r0);
+  check_bool "ordering at zero" true r0.Robustness.ordering_ok;
+  check_bool "no break at these intensities" true
+    (Robustness.first_break ~seed:42 ~intensities app groups schedule = None);
+  (* determinism of the whole sweep under a fixed seed *)
+  let again = Robustness.sweep ~seed:42 ~intensities app groups schedule in
+  List.iter2
+    (fun (a : Robustness.report) (b : Robustness.report) ->
+      check_bool "sweep deterministic" true (a = b))
+    reports again
+
+(* a workload whose nominal burst already fills most of the gap breaks
+   once copies stretch: first_break pinpoints the intensity *)
+let test_robustness_first_break () =
+  let platform =
+    Platform.make ~o_dp:(Time.of_us 1) ~o_isr:(Time.of_us 2)
+      ~dma_ns_per_byte:1.0 ~cpu_ns_per_byte:4.0 ~n_cores:2 ()
+  in
+  let tasks =
+    [
+      Task.make ~id:0 ~name:"w" ~period:(Time.of_ms 10) ~wcet:(Time.of_ms 1)
+        ~core:0;
+      Task.make ~id:1 ~name:"r" ~period:(Time.of_ms 10) ~wcet:(Time.of_ms 1)
+        ~core:1;
+    ]
+  in
+  (* 4 MB at 1 ns/B: each copy is 4ms, the nominal burst ~8ms of a 10ms
+     gap — any meaningful stretch overruns *)
+  let labels =
+    [ Label.make ~id:0 ~name:"big" ~size:4_000_000 ~writer:0 ~readers:[ 1 ] ]
+  in
+  let app = App.make ~platform ~tasks ~labels in
+  let groups = Groups.compute app in
+  let schedule = singleton_schedule app groups in
+  let intensities = [ 0.0; 5.0 ] in
+  (match Robustness.first_break ~seed:42 ~intensities app groups schedule with
+   | None -> Alcotest.fail "expected a break at intensity 5"
+   | Some (x, r) ->
+     Alcotest.(check (float 0.0)) "breaks at 5" 5.0 x;
+     check_bool "report fails survives" false (Robustness.survives r);
+     check_bool "a timing property broke" true
+       (not r.Robustness.property3_ok || not r.Robustness.deadlines_ok);
+     (* ordering is structural: it survives any intensity *)
+     check_bool "ordering survives" true r.Robustness.ordering_ok);
+  (* the report renders *)
+  let reports = Robustness.sweep ~seed:42 ~intensities app groups schedule in
+  List.iter
+    (fun r -> check_bool "pp_report non-empty" true
+        (String.length (Fmt.str "%a" Robustness.pp_report r) > 0))
+    reports
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
+
+(* zero-intensity injection is invisible on arbitrary workloads too *)
+let prop_zero_intensity_invisible =
+  QCheck.Test.make ~name:"zero-intensity faults reproduce fault-free run"
+    ~count:20
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let app = Workload.Generator.random ~seed () in
+      let groups = Groups.compute app in
+      let schedule time =
+        Giotto.singleton_transfers app (Groups.comms_at groups time)
+      in
+      let mode = Sim.Dma_protocol schedule in
+      let plain = Sim.run ~record_trace:true app groups mode in
+      let faulted =
+        Sim.run ~record_trace:true ~faults:(Faults.at_intensity ~seed 0.0) app
+          groups mode
+      in
+      plain.Sim.trace = faulted.Sim.trace
+      && plain.Sim.lambda = faulted.Sim.lambda)
 
 (* barrier readiness dominates protocol readiness for every task *)
 let prop_barrier_dominates_protocol =
@@ -397,6 +575,7 @@ let () =
         prop_barrier_dominates_protocol;
         prop_multi_channel_monotone;
         prop_busy_matches_analytic_duration;
+        prop_zero_intensity_invisible;
       ]
   in
   Alcotest.run "dma_sim"
@@ -429,6 +608,17 @@ let () =
           Alcotest.test_case "jobs enumeration" `Quick test_jobs_enumeration;
           Alcotest.test_case "horizon override" `Quick test_horizon_override;
           Alcotest.test_case "max lambda ratio" `Quick test_max_lambda_ratio;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "model validation" `Quick test_faults_make_validation;
+          Alcotest.test_case "zero intensity is byte-identical" `Quick
+            test_zero_intensity_trace_identical;
+          Alcotest.test_case "deterministic under a seed" `Quick
+            test_fault_injection_deterministic;
+          Alcotest.test_case "faults only delay" `Quick test_faults_only_delay;
+          Alcotest.test_case "robustness sweep" `Quick test_robustness_sweep;
+          Alcotest.test_case "first break" `Quick test_robustness_first_break;
         ] );
       ( "trace",
         [

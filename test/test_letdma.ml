@@ -457,7 +457,7 @@ let test_baseline_requires_solution () =
 let test_experiment_heuristic_config () =
   let app = fixture () in
   match Experiment.run_config ~solver:Experiment.Heuristic app ~alpha:0.3 with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Experiment.error_to_string e)
   | Ok r ->
     check_int "four approaches" 4 (List.length r.Experiment.metrics);
     check_bool "ratio vs self is 1" true
@@ -499,7 +499,7 @@ let contains s sub =
 let test_report_rendering () =
   let app = fixture () in
   match Experiment.run_config ~solver:Experiment.Heuristic app ~alpha:0.3 with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Experiment.error_to_string e)
   | Ok r ->
     let subplot = Fmt.str "%a" (fun ppf -> Report.fig2_subplot ppf app) r in
     check_bool "mentions every task" true
@@ -534,6 +534,225 @@ let test_experiment_table1_rows () =
   let row = List.hd rows in
   check_bool "has time" true (row.Experiment.time_s <> None);
   check_bool "has transfers" true (row.Experiment.transfers <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Certifier                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_certify_heuristic () =
+  let app = fixture () in
+  let groups = Groups.compute app in
+  let gamma = gamma_for app 0.3 in
+  let sol = Option.get (Heuristic.solve_unchecked app groups ~gamma) in
+  match Certify.certify ~source:Certify.Heuristic app groups ~gamma sol with
+  | Error vs ->
+    Alcotest.failf "heuristic solution uncertified: %a"
+      Fmt.(list ~sep:comma (Certify.pp_violation app))
+      vs
+  | Ok cert ->
+    check_bool "checks counted" true (cert.Certify.checks > 0);
+    check_bool "renders" true
+      (String.length (Fmt.str "%a" (Certify.pp app) cert) > 0)
+
+let test_certify_milp_solve () =
+  let app, groups, _gamma, r = solve_fixture Formulation.No_obj in
+  ignore groups;
+  check_bool "solver found a plan" true (r.Solve.solution <> None);
+  match r.Solve.certificate with
+  | None -> Alcotest.fail "no certificate on the MILP path"
+  | Some (Error vs) ->
+    Alcotest.failf "MILP solution uncertified: %a"
+      Fmt.(list ~sep:comma (Certify.pp_violation app))
+      vs
+  | Some (Ok cert) ->
+    check_bool "MILP source" true
+      (cert.Certify.source = Certify.Milp_optimal
+      || cert.Certify.source = Certify.Milp_incumbent);
+    (* the residual pass over the raw assignment ran *)
+    check_bool "raw assignment kept" true (r.Solve.x <> None)
+
+(* an intentionally corrupted solution — transfer slots reversed, so
+   reads are scheduled before the writes they depend on — must be
+   rejected for EVERY source: ordering violations are structural *)
+let corrupted_fixture () =
+  let app = fixture () in
+  let groups = Groups.compute app in
+  let gamma = gamma_for app 0.3 in
+  let sol = Option.get (Heuristic.solve_unchecked app groups ~gamma) in
+  let plan = Solution.s0_plan app sol in
+  let reversed = Array.of_list (List.rev plan) in
+  let corrupted =
+    Solution.make ~allocation:(Solution.allocation sol) ~slots:reversed
+  in
+  (app, groups, gamma, sol, corrupted)
+
+let test_certify_rejects_corrupted () =
+  let app, groups, gamma, sol, corrupted = corrupted_fixture () in
+  (* sanity: the honest solution certifies, the corrupted one cannot *)
+  check_bool "honest solution passes" true
+    (Result.is_ok (Certify.certify ~source:Certify.Heuristic app groups ~gamma sol));
+  List.iter
+    (fun source ->
+      match Certify.certify ~source app groups ~gamma corrupted with
+      | Ok _ ->
+        Alcotest.failf "corrupted solution certified as %s"
+          (Certify.source_name source)
+      | Error vs -> check_bool "violations reported" true (vs <> []))
+    [ Certify.Milp_optimal; Certify.Milp_incumbent; Certify.Heuristic;
+      Certify.Baseline ]
+
+let test_certify_rejects_bad_milp_assignment () =
+  let app = fixture () in
+  let groups = Groups.compute app in
+  let gamma = gamma_for app 0.3 in
+  let sol = Option.get (Heuristic.solve_unchecked app groups ~gamma) in
+  let inst = Formulation.make Formulation.No_obj app groups ~gamma in
+  (* an all-zero vector claims "no comm is assigned anywhere": the
+     residual checker must flag the raw model violations *)
+  let x = Array.make (Milp.Problem.num_vars inst.Formulation.problem) 0.0 in
+  match
+    Certify.certify ~milp:(inst, x) ~source:Certify.Milp_optimal app groups
+      ~gamma sol
+  with
+  | Ok _ -> Alcotest.fail "bogus MILP assignment certified"
+  | Error vs ->
+    check_bool "MILP residuals among violations" true
+      (List.exists
+         (function Certify.Milp_residual _ -> true | _ -> false)
+         vs)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_pipeline_validate_app () =
+  Alcotest.(check (list string)) "fixture is valid" [] (Pipeline.validate_app (fixture ()));
+  (* duplicate logical label (same name, two writers) *)
+  let platform = Platform.make ~n_cores:2 () in
+  let tasks =
+    [
+      Task.make ~id:0 ~name:"w1" ~period:(ms 10) ~wcet:(ms 1) ~core:0;
+      Task.make ~id:1 ~name:"w2" ~period:(ms 10) ~wcet:(ms 1) ~core:0;
+      Task.make ~id:2 ~name:"r" ~period:(ms 10) ~wcet:(ms 1) ~core:1;
+    ]
+  in
+  let labels =
+    [
+      Label.make ~id:0 ~name:"dup" ~size:8 ~writer:0 ~readers:[ 2 ];
+      Label.make ~id:1 ~name:"dup" ~size:8 ~writer:1 ~readers:[ 2 ];
+    ]
+  in
+  let app = App.make ~platform ~tasks ~labels in
+  let problems = Pipeline.validate_app app in
+  check_bool "two writers flagged" true
+    (List.exists (fun m -> contains m "written by two tasks") problems);
+  (match Pipeline.run app with
+   | Error (Pipeline.Invalid_model _) -> ()
+   | _ -> Alcotest.fail "pipeline accepted an invalid model");
+  (* the model constructors reject degenerate components outright *)
+  check_bool "zero-size label rejected" true
+    (try
+       ignore (Label.make ~id:0 ~name:"z" ~size:0 ~writer:0 ~readers:[ 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pipeline_accepts_fixture () =
+  let app = fixture () in
+  match Pipeline.run ~budget_s:30.0 app with
+  | Error f -> Alcotest.fail (Pipeline.failure_to_string f)
+  | Ok o ->
+    check_bool "MILP rung wins on the fixture" true (o.Pipeline.rung = Pipeline.Milp);
+    check_bool "certified" true (o.Pipeline.certificate.Certify.checks > 0);
+    check_bool "attempts recorded" true (o.Pipeline.attempts <> []);
+    check_bool "last attempt accepted" true
+      (let last = List.nth o.Pipeline.attempts
+           (List.length o.Pipeline.attempts - 1) in
+       last.Pipeline.accepted);
+    check_bool "renders" true
+      (String.length (Fmt.str "%a" (Pipeline.pp_outcome app) o) > 0)
+
+(* a solver that lies: returns a corrupted solution carrying a forged
+   certificate. The pipeline must re-certify, reject both MILP rungs and
+   degrade to the heuristic. *)
+let test_pipeline_lying_solver_falls_back () =
+  let app, _groups, _gamma, _sol, corrupted = corrupted_fixture () in
+  let forged =
+    { Certify.source = Certify.Milp_optimal; checks = 9999; warnings = [];
+      time_s = 0.0 }
+  in
+  let lying ~deadline_s:_ ~engine:_ ~warm:_ ~options objective app groups
+      ~gamma:g =
+    let inst = Formulation.make ~options objective app groups ~gamma:g in
+    {
+      Solve.solution = Some corrupted;
+      x = None;
+      certificate = Some (Ok forged);
+      stats =
+        {
+          Solve.rounds = 1; c6_constraints = 0; nodes = 0; time_s = 0.0;
+          status = Milp.Branch_bound.Optimal; gap = None;
+          milp_vars = Milp.Problem.num_vars inst.Formulation.problem;
+          milp_constraints = Milp.Problem.num_constrs inst.Formulation.problem;
+        };
+      instance = inst;
+    }
+  in
+  match Pipeline.run ~milp_solve:lying ~budget_s:30.0 app with
+  | Error f -> Alcotest.fail (Pipeline.failure_to_string f)
+  | Ok o ->
+    check_bool "fell back to the heuristic" true
+      (o.Pipeline.rung = Pipeline.Heuristic);
+    let rejected r =
+      List.exists
+        (fun (a : Pipeline.attempt) ->
+          a.Pipeline.rung = r && not a.Pipeline.accepted
+          && contains a.Pipeline.reason "certification failed")
+        o.Pipeline.attempts
+    in
+    check_bool "milp rung rejected by the certifier" true
+      (rejected Pipeline.Milp);
+    check_bool "perturbed retry also rejected" true
+      (rejected Pipeline.Milp_perturbed);
+    (* the accepted solution really is certified *)
+    check_bool "own certificate, not the forged one" true
+      (o.Pipeline.certificate.Certify.source = Certify.Heuristic)
+
+let test_pipeline_no_comms () =
+  let platform = Platform.make ~n_cores:2 () in
+  let tasks =
+    [ Task.make ~id:0 ~name:"t" ~period:(ms 10) ~wcet:(ms 1) ~core:0 ]
+  in
+  let app = App.make ~platform ~tasks ~labels:[] in
+  match Pipeline.run app with
+  | Error Pipeline.No_communications -> ()
+  | _ -> Alcotest.fail "expected No_communications"
+
+(* regression for the shared-deadline refactor: an already-expired
+   absolute deadline stops the lazy loop before the first round *)
+let test_solve_expired_deadline () =
+  let app = fixture () in
+  let groups = Groups.compute app in
+  let gamma = gamma_for app 0.3 in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Solve.solve ~deadline_s:(t0 -. 1.0) Formulation.No_obj app groups ~gamma
+  in
+  check_bool "returns promptly" true (Unix.gettimeofday () -. t0 < 2.0);
+  check_bool "no solution" true (r.Solve.solution = None);
+  check_bool "no certificate" true (r.Solve.certificate = None);
+  check_int "no rounds ran" 0 r.Solve.stats.Solve.rounds;
+  check_bool "status unknown" true
+    (r.Solve.stats.Solve.status = Milp.Branch_bound.Unknown)
+
+let test_experiment_certificate_present () =
+  let app = fixture () in
+  match Experiment.run_config ~solver:Experiment.Heuristic app ~alpha:0.3 with
+  | Error e -> Alcotest.fail (Experiment.error_to_string e)
+  | Ok r ->
+    check_bool "certificate attached" true
+      (r.Experiment.certificate.Certify.checks > 0);
+    check_bool "heuristic source" true
+      (r.Experiment.certificate.Certify.source = Certify.Heuristic)
 
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
@@ -671,9 +890,30 @@ let () =
             test_proposed_beats_barrier_per_task;
           Alcotest.test_case "missing solution" `Quick test_baseline_requires_solution;
         ] );
+      ( "certify",
+        [
+          Alcotest.test_case "heuristic path" `Quick test_certify_heuristic;
+          Alcotest.test_case "MILP path" `Quick test_certify_milp_solve;
+          Alcotest.test_case "corrupted solution rejected" `Quick
+            test_certify_rejects_corrupted;
+          Alcotest.test_case "bogus MILP assignment rejected" `Quick
+            test_certify_rejects_bad_milp_assignment;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "model validation" `Quick test_pipeline_validate_app;
+          Alcotest.test_case "accepts the fixture" `Quick
+            test_pipeline_accepts_fixture;
+          Alcotest.test_case "lying solver falls back" `Quick
+            test_pipeline_lying_solver_falls_back;
+          Alcotest.test_case "no communications" `Quick test_pipeline_no_comms;
+          Alcotest.test_case "expired deadline" `Quick test_solve_expired_deadline;
+        ] );
       ( "experiment",
         [
           Alcotest.test_case "heuristic config" `Quick test_experiment_heuristic_config;
+          Alcotest.test_case "certificate attached" `Quick
+            test_experiment_certificate_present;
           Alcotest.test_case "unschedulable" `Quick test_experiment_unschedulable;
           Alcotest.test_case "no communications" `Quick test_experiment_no_comms;
           Alcotest.test_case "table1 rows" `Quick test_experiment_table1_rows;

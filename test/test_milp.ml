@@ -357,6 +357,51 @@ let test_check_solution () =
   Alcotest.(check bool) "integrality violated" true
     (P.check_solution p [| 0.5; 0.0 |] <> [])
 
+let test_residuals () =
+  let p = P.create () in
+  let x = P.binary ~name:"x" p in
+  let y = P.continuous ~name:"y" ~lo:0.0 ~hi:4.0 p in
+  ignore (P.add_constr ~name:"cap" p (L.of_list [ (2.0, x); (1.0, y) ]) P.Le 3.0);
+  Alcotest.(check int) "feasible point has no residuals" 0
+    (List.length (P.residuals p [| 1.0; 1.0 |]));
+  (* violated row: 2*1 + 2 = 4 > 3 by 1 *)
+  (match P.residuals p [| 1.0; 2.0 |] with
+   | [ { P.res_kind = P.Row; res_name = "cap"; res_amount } ] ->
+     check_float "row magnitude" 1.0 res_amount
+   | rs ->
+     Alcotest.failf "expected one row residual, got %d: %a" (List.length rs)
+       Fmt.(list ~sep:comma P.pp_residual) rs);
+  (* fractional binary: integrality residual of 0.5 *)
+  (match P.residuals p [| 0.5; 0.0 |] with
+   | [ { P.res_kind = P.Integrality; res_name = "x"; res_amount } ] ->
+     check_float "integrality magnitude" 0.5 res_amount
+   | _ -> Alcotest.fail "expected one integrality residual");
+  (* bound violation: y = 5 exceeds hi = 4 by 1 *)
+  Alcotest.(check bool) "bound residual reported" true
+    (List.exists
+       (fun r -> r.P.res_kind = P.Bound && r.P.res_name = "y")
+       (P.residuals p [| 0.0; 5.0 |]));
+  (* eps is respected *)
+  Alcotest.(check int) "within eps is feasible" 0
+    (List.length (P.residuals ~eps:0.1 p [| 1.0; 1.05 |]))
+
+let test_residuals_wrong_length () =
+  let p = P.create () in
+  let _x = P.continuous ~name:"x" ~lo:0.0 p in
+  (* residuals never raises: wrong length is a single Bad_length finding *)
+  (match P.residuals p [||] with
+   | [ { P.res_kind = P.Bad_length; _ } ] -> ()
+   | _ -> Alcotest.fail "expected a single Bad_length residual");
+  (match P.residuals p [| 1.0; 2.0 |] with
+   | [ { P.res_kind = P.Bad_length; _ } ] -> ()
+   | _ -> Alcotest.fail "expected a single Bad_length residual");
+  (* the historical string API still raises on wrong length *)
+  Alcotest.(check bool) "check_solution raises" true
+    (try
+       ignore (P.check_solution p [||]);
+       false
+     with Invalid_argument _ -> true)
+
 let test_lp_export () =
   let p = P.create () in
   let x = P.binary ~name:"x" p in
@@ -516,6 +561,24 @@ let test_lp_parse_errors () =
   Alcotest.(check bool) "missing relation rejected" true
     (Result.is_error
        (Milp.Lp_file.of_string "Minimize\n obj: x\nSubject To\n c: x 5\nEnd\n"))
+
+(* Malformed input must come back as [Error _] — never an exception and
+   never a silently-empty problem. *)
+let test_lp_parse_malformed () =
+  let rejects name text =
+    Alcotest.(check bool) name true
+      (try Result.is_error (Milp.Lp_file.of_string text)
+       with _ -> Alcotest.failf "%s: parser raised" name)
+  in
+  rejects "empty string" "";
+  rejects "whitespace only" "  \n\t\n";
+  rejects "binary garbage" "\x00\x01\xfe\xff random bytes";
+  rejects "stray text before sections" "hello world\nMinimize\n obj: x\nEnd\n";
+  rejects "truncated mid-constraint" "Minimize\n obj: x\nSubject To\n c1: x +";
+  rejects "truncated bounds" "Minimize\n obj: x\nBounds\n 0 <=";
+  rejects "relation without rhs" "Minimize\n obj: x\nSubject To\n c: x <=\nEnd\n";
+  rejects "unknown token in bounds"
+    "Minimize\n obj: x\nBounds\n x banana 3\nEnd\n"
 
 let test_lp_roundtrip_hand () =
   let p = P.create () in
@@ -932,6 +995,9 @@ let () =
         [
           Alcotest.test_case "validate" `Quick test_validate;
           Alcotest.test_case "check_solution" `Quick test_check_solution;
+          Alcotest.test_case "residuals" `Quick test_residuals;
+          Alcotest.test_case "residuals wrong length" `Quick
+            test_residuals_wrong_length;
           Alcotest.test_case "LP export" `Quick test_lp_export;
         ] );
       ( "simplex-core",
@@ -956,6 +1022,7 @@ let () =
           Alcotest.test_case "binaries and free vars" `Quick
             test_lp_parse_binaries_and_free;
           Alcotest.test_case "parse errors" `Quick test_lp_parse_errors;
+          Alcotest.test_case "malformed input" `Quick test_lp_parse_malformed;
           Alcotest.test_case "round trip" `Quick test_lp_roundtrip_hand;
         ] );
       ("properties", qsuite);
