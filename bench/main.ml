@@ -11,6 +11,7 @@
      ABLATION-C6   — lazy vs full Constraint-6 generation
      ABLATION-HEUR — greedy heuristic vs MILP on random workloads
      ABLATION-ENGINE — best-first vs depth-first diving branch-and-bound
+     PARALLEL      — portfolio racing and batch-sweep speedup vs jobs
      ABLATION-P3   — paper's Constraint 10 vs the strict Property-3 bound
      EXT-MULTIDMA  — the protocol on 1/2/4 parallel DMA channels
      EXT-AUTOMOTIVE — signal-heavy workloads (WATERS 2015 statistics)
@@ -20,7 +21,11 @@
      MICRO         — Bechamel timings of the pipeline kernels
 
    The MILP time limit defaults to 30s per solve (the paper allowed 1h on
-   a 40-core Xeon with CPLEX); override with LETDMA_BENCH_TIME_LIMIT. *)
+   a 40-core Xeon with CPLEX); override with LETDMA_BENCH_TIME_LIMIT.
+
+   --smoke runs a fast subset (FIG1 + a trimmed PARALLEL section) meant
+   to finish well under 30s — the CI gate in ci.sh. --parallel runs only
+   the full PARALLEL section (the EXPERIMENTS.md speedup table). *)
 
 open Rt_model
 open Let_sem
@@ -383,6 +388,88 @@ let robustness app =
      | Error f -> Fmt.pr "  pipeline: %s@." (Letdma.Pipeline.failure_to_string f))
 
 (* ------------------------------------------------------------------ *)
+(* PARALLEL: speedup vs jobs                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_section ~smoke app =
+  section "PARALLEL: portfolio racing and batch sweeps on OCaml 5 domains";
+  Fmt.pr "  Domain.recommended_domain_count = %d@.@."
+    (Domain.recommended_domain_count ());
+  (* batch sweep: independent random instances farmed over a pool; the
+     jobs=1 run is the sequential baseline for the speedup column. The
+     seeds are instances the cold solver finishes in well under a
+     second, so every configuration completes and the speedup measures
+     real work, not timeouts. *)
+  let seeds = [ 2; 3; 4; 6; 11; 12; 15; 16 ] in
+  let config =
+    {
+      Workload.Generator.default_config with
+      Workload.Generator.n_tasks = 4;
+      n_edges = 2;
+      max_labels_per_edge = 2;
+    }
+  in
+  let per_solve_limit = if smoke then 5.0 else time_limit in
+  let solve_one ~deadline seed =
+    let app = Workload.Generator.random ~seed ~config () in
+    let groups = Groups.compute app in
+    match Rt_analysis.Sensitivity.gammas app ~alpha:0.3 with
+    | None -> false
+    | Some s ->
+      let deadline_s =
+        if Float.is_finite deadline then Some deadline else None
+      in
+      let r =
+        Letdma.Solve.solve ~time_limit_s:per_solve_limit ?deadline_s
+          Letdma.Formulation.No_obj app groups
+          ~gamma:s.Rt_analysis.Sensitivity.gamma
+      in
+      Option.is_some r.Letdma.Solve.solution
+  in
+  let t_seq = ref nan in
+  List.iter
+    (fun jobs ->
+      let t0 = Milp.Clock.now () in
+      let outcomes = Parallel.Sweep.map ~jobs solve_one seeds in
+      let solved =
+        List.length
+          (List.filter
+             (fun (o : _ Parallel.Sweep.outcome) -> o.result = Ok true)
+             outcomes)
+      in
+      let dt = Milp.Clock.now () -. t0 in
+      if jobs = 1 then t_seq := dt;
+      Fmt.pr "  sweep %d instances  jobs=%d: %6.2fs  (%d solved, speedup x%.2f)@."
+        (List.length seeds) jobs dt solved (!t_seq /. dt))
+    (if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ]);
+  (* portfolio racing on the WATERS NO-OBJ model, warm-started from the
+     heuristic: same problem, jobs 1 vs 4, with the shared-incumbent
+     exchange counters *)
+  Fmt.pr "@.";
+  let groups = Groups.compute app in
+  match Rt_analysis.Sensitivity.gammas app ~alpha:0.2 with
+  | None -> Fmt.pr "  portfolio: unschedulable@."
+  | Some s ->
+    let gamma = s.Rt_analysis.Sensitivity.gamma in
+    let inst =
+      Letdma.Formulation.make Letdma.Formulation.No_obj app groups ~gamma
+    in
+    let incumbent =
+      Option.bind
+        (Letdma.Heuristic.solve_unchecked app groups ~gamma)
+        (Letdma.Formulation.encode inst)
+    in
+    List.iter
+      (fun jobs ->
+        let r =
+          Parallel.Portfolio.solve ~jobs ~time_limit_s:per_solve_limit
+            ?incumbent inst.Letdma.Formulation.problem
+        in
+        Fmt.pr "  portfolio WATERS/NO-OBJ jobs=%d: @[%a@]@." jobs
+          Parallel.Portfolio.pp_stats r.Parallel.Portfolio.stats)
+      [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -463,19 +550,36 @@ let micro app =
     tests
 
 let () =
+  let log_mutex = Mutex.create () in
+  Logs.set_reporter_mutex
+    ~lock:(fun () -> Mutex.lock log_mutex)
+    ~unlock:(fun () -> Mutex.unlock log_mutex);
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some Logs.Warning);
+  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
   let app = Workload.Waters2019.make () in
-  fig1 ();
-  fig2_and_table1 app;
-  alpha app;
-  ablation_c6 ();
-  ablation_heuristic ();
-  ablation_engine app;
-  ablation_p3 app;
-  extension_multi_dma app;
-  extension_automotive ();
-  scaling ();
-  robustness app;
-  micro app;
-  Fmt.pr "@.bench: all sections completed@."
+  if Array.exists (String.equal "--parallel") Sys.argv then begin
+    parallel_section ~smoke:false app;
+    Fmt.pr "@.bench: parallel section completed@."
+  end
+  else if smoke then begin
+    fig1 ();
+    parallel_section ~smoke:true app;
+    Fmt.pr "@.bench: smoke sections completed@."
+  end
+  else begin
+    fig1 ();
+    fig2_and_table1 app;
+    alpha app;
+    ablation_c6 ();
+    ablation_heuristic ();
+    ablation_engine app;
+    ablation_p3 app;
+    extension_multi_dma app;
+    extension_automotive ();
+    scaling ();
+    parallel_section ~smoke:false app;
+    robustness app;
+    micro app;
+    Fmt.pr "@.bench: all sections completed@."
+  end

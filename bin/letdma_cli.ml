@@ -11,7 +11,9 @@
      5  solving failed (no feasible plan, certification rejected the
         solution, or the degradation ladder was exhausted)
    Invalid flag values (e.g. --labels-per-edge 0) are rejected by the
-   argument parser itself with Cmdliner's usage error code (124). *)
+   argument parser itself with Cmdliner's usage error code (124); --jobs
+   is the exception — it is validated in the command body so an invalid
+   count gets the structured one-line error and exit code 1. *)
 
 open Cmdliner
 open Rt_model
@@ -41,6 +43,12 @@ let exit_of_experiment_error = function
     exit_no_solution
 
 let setup_logs verbose =
+  (* the format reporter is not domain-safe; portfolio workers and sweep
+     items log concurrently *)
+  let log_mutex = Mutex.create () in
+  Logs.set_reporter_mutex
+    ~lock:(fun () -> Mutex.lock log_mutex)
+    ~unlock:(fun () -> Mutex.unlock log_mutex);
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
@@ -92,6 +100,26 @@ let labels_per_edge_t =
 
 let seed_t =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* Deliberately a plain int: the value is validated in the command body
+   (see [check_jobs]) so that an invalid count reports through the
+   structured error path with exit code 1, like any other runtime
+   failure, rather than Cmdliner's usage error. *)
+let jobs_t =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel solving (default: what the runtime \
+           recommends for this machine; 1 = sequential).")
+
+let check_jobs jobs k =
+  if jobs < 1 then begin
+    err "jobs must be >= 1, got %d" jobs;
+    exit_internal
+  end
+  else k ()
 
 let waters ~labels_per_edge = Workload.Waters2019.make ~labels_per_edge ()
 
@@ -266,13 +294,14 @@ let heuristic_t =
     & info [ "heuristic" ] ~doc:"Use the greedy heuristic instead of the MILP.")
 
 let solve_cmd =
-  let run verbose time_limit labels_per_edge objective alpha heuristic =
+  let run verbose time_limit labels_per_edge objective alpha heuristic jobs =
     guard @@ fun () ->
     setup_logs verbose;
+    check_jobs jobs @@ fun () ->
     let app = waters ~labels_per_edge in
     let solver =
       if heuristic then Letdma.Experiment.Heuristic
-      else Letdma.Experiment.milp ~time_limit_s:time_limit objective
+      else Letdma.Experiment.milp ~time_limit_s:time_limit ~jobs objective
     in
     match Letdma.Experiment.run_config ~solver app ~alpha with
     | Error e ->
@@ -291,7 +320,7 @@ let solve_cmd =
        ~doc:"Solve one configuration and report the resulting plan/latencies.")
     Term.(
       const run $ verbose_t $ time_limit_t $ labels_per_edge_t $ objective_t
-      $ alpha_t $ heuristic_t)
+      $ alpha_t $ heuristic_t $ jobs_t)
 
 (* --- pipeline --------------------------------------------------------- *)
 
@@ -305,11 +334,12 @@ let pipeline_cmd =
             "Total wall-clock budget shared by every rung of the ladder \
              (MILP rounds, perturbed retry, fallbacks).")
   in
-  let run verbose labels_per_edge objective alpha budget =
+  let run verbose labels_per_edge objective alpha budget jobs =
     guard @@ fun () ->
     setup_logs verbose;
+    check_jobs jobs @@ fun () ->
     let app = waters ~labels_per_edge in
-    match Letdma.Pipeline.run ~objective ~budget_s:budget ~alpha app with
+    match Letdma.Pipeline.run ~objective ~budget_s:budget ~alpha ~jobs app with
     | Ok o ->
       Fmt.pr "%a@." (Letdma.Pipeline.pp_outcome app) o;
       0
@@ -329,7 +359,7 @@ let pipeline_cmd =
           solution.")
     Term.(
       const run $ verbose_t $ labels_per_edge_t $ objective_t $ alpha_t
-      $ budget_t)
+      $ budget_t $ jobs_t)
 
 (* --- fault injection -------------------------------------------------- *)
 

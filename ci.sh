@@ -1,0 +1,24 @@
+#!/bin/sh
+# Tier-1 gate: full build + test suite, then a short bench smoke that
+# exercises the parallel paths (domain pool, portfolio racing, sweep).
+#
+# OCAMLRUNPARAM s=8M (minor heap, in words) matters for the smoke: with
+# the default minor heap, multi-domain runs spend most of their time in
+# minor-GC stop-the-world synchronisation on small machines (measured
+# ~4x on a 1-core container), which would push the smoke solves past
+# their per-instance deadlines. See EXPERIMENTS.md (PARALLEL).
+set -eu
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke (parallel paths) =="
+dune build bench/main.exe
+OCAMLRUNPARAM="s=8M${OCAMLRUNPARAM:+,$OCAMLRUNPARAM}" \
+  timeout 300 ./_build/default/bench/main.exe --smoke
+
+echo "== ci.sh: all green =="

@@ -14,12 +14,13 @@ type solver =
       time_limit_s : float;
       node_limit : int;
       warm_start : bool;
+      jobs : int; (* portfolio width of each solve; 1 = sequential *)
     }
   | Heuristic
 
 let milp ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
-    ?(node_limit = 200_000) ?(warm_start = true) objective =
-  Milp { objective; options; time_limit_s; node_limit; warm_start }
+    ?(node_limit = 200_000) ?(warm_start = true) ?(jobs = 1) objective =
+  Milp { objective; options; time_limit_s; node_limit; warm_start; jobs }
 
 let solver_name = function
   | Milp { objective; _ } -> Formulation.objective_name objective
@@ -78,8 +79,8 @@ let best_improvement r approach =
   done;
   !best
 
-let run_config ?(cpu_model = Sim.Parallel_phases) ?(solver = Heuristic) app
-    ~alpha =
+let run_config ?(cpu_model = Sim.Parallel_phases) ?(solver = Heuristic)
+    ?deadline_s app ~alpha =
   let groups = Groups.compute app in
   if Comm.Set.is_empty (Groups.s0 groups) then Error No_communications
   else
@@ -99,7 +100,8 @@ let run_config ?(cpu_model = Sim.Parallel_phases) ?(solver = Heuristic) app
               sol
           in
           (sol, None, cert)
-        | Milp { objective; options; time_limit_s; node_limit; warm_start } ->
+        | Milp { objective; options; time_limit_s; node_limit; warm_start; jobs }
+          ->
           let warm =
             if warm_start then
               (* warm-start with the heuristic variant matching the
@@ -115,8 +117,8 @@ let run_config ?(cpu_model = Sim.Parallel_phases) ?(solver = Heuristic) app
             else None
           in
           let r =
-            Solve.solve ~options ~time_limit_s ~node_limit ?warm objective app
-              groups ~gamma
+            Solve.solve ~options ~time_limit_s ?deadline_s ~node_limit ~jobs
+              ?warm objective app groups ~gamma
           in
           (r.Solve.solution, Some r.Solve.stats, r.Solve.certificate)
       in
@@ -149,19 +151,42 @@ let run_config ?(cpu_model = Sim.Parallel_phases) ?(solver = Heuristic) app
              metrics;
            })
 
+(* Sweep-parallel grid runner shared by fig2 and alpha_sweep: with
+   [jobs > 1] the independent configurations are farmed over a domain
+   pool; [budget_s] is carved into fair per-config deadlines by
+   [Parallel.Sweep] (each config additionally keeps its [time_limit_s]
+   cap, so results match the sequential run when the budget is slack). *)
+let run_grid ~jobs ~budget_s ~time_limit_s run configs =
+  if jobs <= 1 then List.map (fun c -> run ?deadline_s:None c) configs
+  else begin
+    let global =
+      Option.map (fun b -> Milp.Clock.deadline_of ~limit_s:b) budget_s
+    in
+    Parallel.Sweep.map ~jobs ?deadline:global
+      (fun ~deadline c ->
+        let d = Float.min deadline (Milp.Clock.deadline_of ~limit_s:time_limit_s) in
+        let deadline_s = if Float.is_finite d then Some d else None in
+        run ?deadline_s c)
+      configs
+    |> List.map (fun (o : _ Parallel.Sweep.outcome) ->
+           match o.Parallel.Sweep.result with Ok r -> r | Error e -> raise e)
+  end
+
 (* The paper's Fig. 2 grid: alphas 0.2 and 0.4, the three objectives. *)
 let fig2 ?(alphas = [ 0.2; 0.4 ])
     ?(objectives = [ Formulation.No_obj; Formulation.Min_transfers; Formulation.Min_delay_ratio ])
-    ?(time_limit_s = 60.0) ?cpu_model app =
-  List.concat_map
-    (fun alpha ->
-      List.map
-        (fun objective ->
-          ((alpha, objective),
-           run_config ?cpu_model ~solver:(milp ~time_limit_s objective) app
-             ~alpha))
-        objectives)
-    alphas
+    ?(time_limit_s = 60.0) ?cpu_model ?(jobs = 1) ?budget_s app =
+  let configs =
+    List.concat_map
+      (fun alpha -> List.map (fun objective -> (alpha, objective)) objectives)
+      alphas
+  in
+  run_grid ~jobs ~budget_s ~time_limit_s
+    (fun ?deadline_s (alpha, objective) ->
+      ((alpha, objective),
+       run_config ?cpu_model ?deadline_s
+         ~solver:(milp ~time_limit_s objective) app ~alpha))
+    configs
 
 (* Table I: solver running time and number of DMA transfers per objective
    and alpha. *)
@@ -231,9 +256,10 @@ let table1 ?(alphas = [ 0.2; 0.4 ])
 
 (* The alpha sweep of Section VII: feasibility for alpha in {0.1..0.5}. *)
 let alpha_sweep ?(alphas = [ 0.1; 0.2; 0.3; 0.4; 0.5 ]) ?(time_limit_s = 60.0)
-    ?(objective = Formulation.No_obj) ?cpu_model app =
-  List.map
-    (fun alpha ->
+    ?(objective = Formulation.No_obj) ?cpu_model ?(jobs = 1) ?budget_s app =
+  run_grid ~jobs ~budget_s ~time_limit_s
+    (fun ?deadline_s alpha ->
       (alpha,
-       run_config ?cpu_model ~solver:(milp ~time_limit_s objective) app ~alpha))
+       run_config ?cpu_model ?deadline_s
+         ~solver:(milp ~time_limit_s objective) app ~alpha))
     alphas

@@ -103,6 +103,8 @@ let pp_outcome app ppf o =
 type milp_solver =
   deadline_s:float ->
   engine:Solve.engine ->
+  jobs:int ->
+  cancel:Parallel.Pool.Token.t option ->
   warm:Solution.t option ->
   options:Formulation.options ->
   Formulation.objective ->
@@ -111,9 +113,10 @@ type milp_solver =
   gamma:Time.t array ->
   Solve.result
 
-let default_milp_solve ~deadline_s ~engine ~warm ~options objective app groups
-    ~gamma =
-  Solve.solve ~options ~deadline_s ~engine ?warm objective app groups ~gamma
+let default_milp_solve ~deadline_s ~engine ~jobs ~cancel ~warm ~options
+    objective app groups ~gamma =
+  Solve.solve ~options ~deadline_s ~engine ~jobs ?cancel ?warm objective app
+    groups ~gamma
 
 (* Perturbed retry: tighten every gamma by 0.1% — a solution meeting the
    tightened bound meets the original a fortiori, while the shifted
@@ -143,8 +146,8 @@ let violations_summary app vs =
 
 let run ?(milp_solve = default_milp_solve) ?(objective = Formulation.No_obj)
     ?(options = Formulation.default_options) ?(engine = Solve.Best_first)
-    ?(warm_start = true) ?(budget_s = 60.0) ?(alpha = 0.2) app =
-  let t0 = Unix.gettimeofday () in
+    ?(warm_start = true) ?(budget_s = 60.0) ?(alpha = 0.2) ?(jobs = 1) app =
+  let t0 = Milp.Clock.now () in
   let deadline = t0 +. budget_s in
   match validate_app app with
   | _ :: _ as problems -> Error (Invalid_model problems)
@@ -159,11 +162,14 @@ let run ?(milp_solve = default_milp_solve) ?(objective = Formulation.No_obj)
       | Some s ->
         let gamma = s.Rt_analysis.Sensitivity.gamma in
         let attempts = ref [] in
+        (* the two MILP rungs may race on separate domains *)
+        let attempts_m = Mutex.create () in
         let record rung accepted reason time_s =
           if not accepted then
             Log.info (fun f ->
                 f "rung %s rejected: %s (%.2fs)" (rung_name rung) reason time_s);
-          attempts := { rung; accepted; reason; time_s } :: !attempts
+          Mutex.protect attempts_m (fun () ->
+              attempts := { rung; accepted; reason; time_s } :: !attempts)
         in
         let finish rung sol cert stats time_s =
           record rung true "accepted" time_s;
@@ -176,18 +182,18 @@ let run ?(milp_solve = default_milp_solve) ?(objective = Formulation.No_obj)
               gamma;
               attempts = List.rev !attempts;
               solve_stats = stats;
-              total_time_s = Unix.gettimeofday () -. t0;
+              total_time_s = Milp.Clock.now () -. t0;
             }
         in
         (* one MILP rung: solve against [gamma_solve], then re-certify the
            result against the ORIGINAL gamma, never trusting the hook *)
-        let try_milp rung ~engine ~gamma_solve ~warm =
-          let ta = Unix.gettimeofday () in
+        let try_milp rung ~engine ~jobs ~cancel ~gamma_solve ~warm =
+          let ta = Milp.Clock.now () in
           let r =
-            milp_solve ~deadline_s:deadline ~engine ~warm ~options objective
-              app groups ~gamma:gamma_solve
+            milp_solve ~deadline_s:deadline ~engine ~jobs ~cancel ~warm
+              ~options objective app groups ~gamma:gamma_solve
           in
-          let dt = Unix.gettimeofday () -. ta in
+          let dt = Milp.Clock.now () -. ta in
           match r.Solve.solution with
           | None ->
             record rung false
@@ -209,33 +215,34 @@ let run ?(milp_solve = default_milp_solve) ?(objective = Formulation.No_obj)
         in
         (* heuristic/baseline rung: certify a directly-constructed plan *)
         let try_direct rung source sol_opt =
-          let ta = Unix.gettimeofday () in
+          let ta = Milp.Clock.now () in
           match sol_opt with
           | None ->
-            record rung false "no plan produced"
-              (Unix.gettimeofday () -. ta);
+            record rung false "no plan produced" (Milp.Clock.now () -. ta);
             None
           | Some sol ->
-            let dt0 = Unix.gettimeofday () in
+            let dt0 = Milp.Clock.now () in
             (match Certify.certify ~source app groups ~gamma sol with
-             | Ok cert -> Some (sol, cert, None, Unix.gettimeofday () -. ta)
+             | Ok cert -> Some (sol, cert, None, Milp.Clock.now () -. ta)
              | Error vs ->
                record rung false (violations_summary app vs)
-                 (Unix.gettimeofday () -. dt0);
+                 (Milp.Clock.now () -. dt0);
                None)
         in
         let warm =
           if warm_start then Heuristic.solve_unchecked app groups ~gamma
           else None
         in
-        let milp_accepted =
-          match try_milp Milp ~engine ~gamma_solve:gamma ~warm with
+        let milp_sequential () =
+          match
+            try_milp Milp ~engine ~jobs:1 ~cancel:None ~gamma_solve:gamma ~warm
+          with
           | Some acc -> Some (Milp, acc)
           | None ->
-            if deadline -. Unix.gettimeofday () > 1.0 then begin
+            if Milp.Clock.remaining ~deadline > 1.0 then begin
               match
-                try_milp Milp_perturbed ~engine:(flip_engine engine)
-                  ~gamma_solve:(perturb_gamma gamma) ~warm:None
+                try_milp Milp_perturbed ~engine:(flip_engine engine) ~jobs:1
+                  ~cancel:None ~gamma_solve:(perturb_gamma gamma) ~warm:None
               with
               | Some acc -> Some (Milp_perturbed, acc)
               | None -> None
@@ -244,6 +251,53 @@ let run ?(milp_solve = default_milp_solve) ?(objective = Formulation.No_obj)
               record Milp_perturbed false "skipped: budget exhausted" 0.0;
               None
             end
+        in
+        (* With jobs >= 2, the primary and perturbed models race on two
+           domains instead of running back-to-back; the perturbed branch
+           is insurance, so it is cancelled as soon as the primary's
+           solution certifies. Each branch keeps half the jobs for its
+           own portfolio. *)
+        let milp_race () =
+          Parallel.Pool.with_pool ~jobs:2 @@ fun pl ->
+          let branch_jobs = max 1 (jobs / 2) in
+          let cancel_perturbed = Parallel.Pool.Token.create () in
+          let primary_fut =
+            Parallel.Pool.async pl (fun () ->
+                try_milp Milp ~engine ~jobs:branch_jobs ~cancel:None
+                  ~gamma_solve:gamma ~warm)
+          in
+          let perturbed_fut =
+            Parallel.Pool.async pl (fun () ->
+                try_milp Milp_perturbed ~engine:(flip_engine engine)
+                  ~jobs:branch_jobs ~cancel:(Some cancel_perturbed)
+                  ~gamma_solve:(perturb_gamma gamma) ~warm:None)
+          in
+          let primary = Parallel.Pool.await primary_fut in
+          (match primary with
+           | Ok (Some _) -> Parallel.Pool.Token.cancel cancel_perturbed
+           | Ok None | Error _ -> ());
+          let perturbed = Parallel.Pool.await perturbed_fut in
+          let surface = function
+            | Ok r -> r
+            | Error e -> raise e (* funneled solver crash *)
+          in
+          match surface primary with
+          | Some acc ->
+            (* a failed perturbed branch already recorded its own
+               rejection inside try_milp; only a successful loser needs
+               an attempt entry here *)
+            (match surface perturbed with
+             | Some _ ->
+               record Milp_perturbed false "lost race: primary accepted" 0.0
+             | None -> ());
+            Some (Milp, acc)
+          | None -> (
+            match surface perturbed with
+            | Some acc -> Some (Milp_perturbed, acc)
+            | None -> None)
+        in
+        let milp_accepted =
+          if jobs >= 2 then milp_race () else milp_sequential ()
         in
         (match milp_accepted with
          | Some (rung, (sol, cert, stats, dt)) -> finish rung sol cert stats dt

@@ -61,6 +61,8 @@ val pp_outcome : App.t -> Format.formatter -> outcome -> unit
 type milp_solver =
   deadline_s:float ->
   engine:Solve.engine ->
+  jobs:int ->
+  cancel:Parallel.Pool.Token.t option ->
   warm:Solution.t option ->
   options:Formulation.options ->
   Formulation.objective ->
@@ -72,7 +74,13 @@ type milp_solver =
 (** [run app] validates, computes gamma at [alpha] (default [0.2]) and
     walks the ladder under [budget_s] (default [60] s) of total wall
     time. [objective], [options], [engine] configure the MILP rungs;
-    [warm_start] (default true) seeds them with the heuristic. *)
+    [warm_start] (default true) seeds them with the heuristic.
+
+    [jobs] (default 1) enables multicore solving: with [jobs >= 2] the
+    primary and perturbed MILP rungs race concurrently on two domains
+    (the perturbed branch is cancelled once the primary's solution
+    certifies), and each branch runs its own portfolio over half the
+    jobs ({!Solve.solve}'s [jobs]). *)
 val run :
   ?milp_solve:milp_solver ->
   ?objective:Formulation.objective ->
@@ -81,5 +89,6 @@ val run :
   ?warm_start:bool ->
   ?budget_s:float ->
   ?alpha:float ->
+  ?jobs:int ->
   App.t ->
   (outcome, failure) result

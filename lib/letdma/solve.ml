@@ -42,12 +42,32 @@ type result = {
    (see the ABLATION-ENGINE bench section). *)
 type engine = Dfs | Best_first
 
-let bb_solve engine =
-  match engine with
-  | Dfs -> fun ?time_limit_s ?node_limit ?incumbent p ->
-      Milp.Dfs_solver.solve ?time_limit_s ?node_limit ?incumbent p
-  | Best_first -> fun ?time_limit_s ?node_limit ?incumbent p ->
-      Milp.Branch_bound.solve ?time_limit_s ?node_limit ?incumbent p
+(* One branch-and-bound round: sequential engine at [jobs <= 1], else a
+   portfolio race over a pool of [jobs] domains (the diversified panel
+   includes both engines, so [engine] only selects the sequential one).
+   [cancel] lets an outer racer — the pipeline running primary and
+   perturbed models concurrently — abort the round between nodes. *)
+let bb_solve ~jobs ~cancel engine =
+  if jobs > 1 then fun ~deadline ~node_limit ?incumbent p ->
+    let r =
+      Parallel.Portfolio.solve ~jobs ?cancel ~deadline ~node_limit ?incumbent p
+    in
+    r.Parallel.Portfolio.solution
+  else
+    let hooks =
+      match cancel with
+      | None -> Milp.Branch_bound.no_hooks
+      | Some tok ->
+        {
+          Milp.Branch_bound.no_hooks with
+          should_stop = (fun () -> Parallel.Pool.Token.cancelled tok);
+        }
+    in
+    match engine with
+    | Dfs -> fun ~deadline ~node_limit ?incumbent p ->
+        Milp.Dfs_solver.solve ~deadline ~node_limit ?incumbent ~hooks p
+    | Best_first -> fun ~deadline ~node_limit ?incumbent p ->
+        Milp.Branch_bound.solve ~deadline ~node_limit ?incumbent ~hooks p
 
 (* (pattern, class) blocks whose projected transfers break contiguity. *)
 let find_violations inst (sol : Solution.t) =
@@ -74,9 +94,9 @@ let find_violations inst (sol : Solution.t) =
 
 let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
     ?deadline_s ?(node_limit = 200_000) ?(max_rounds = 50) ?(engine = Best_first)
-    ?warm objective app groups ~gamma =
-  let t0 = Unix.gettimeofday () in
-  (* One absolute wall-clock deadline shared by every lazy round (and, via
+    ?(jobs = 1) ?cancel ?warm objective app groups ~gamma =
+  let t0 = Milp.Clock.now () in
+  (* One absolute monotonic deadline shared by every lazy round (and, via
      [deadline_s], by every rung of a degradation ladder): k rounds can
      never consume ~k times the budget. *)
   let deadline = match deadline_s with Some d -> d | None -> t0 +. time_limit_s in
@@ -106,12 +126,12 @@ let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
   let c6_total = ref 0 in
   let nodes_total = ref 0 in
   let rec loop round =
-    let remaining = deadline -. Unix.gettimeofday () in
+    let remaining = Milp.Clock.remaining ~deadline in
     if remaining <= 0.5 || round > max_rounds then
       (None, Milp.Branch_bound.Unknown, None, round - 1)
     else begin
       let bb =
-        bb_solve engine ~time_limit_s:remaining ~node_limit
+        bb_solve ~jobs ~cancel engine ~deadline ~node_limit
           ?incumbent:(encode_warm ()) inst.Formulation.problem
       in
       nodes_total := !nodes_total + bb.Milp.Branch_bound.stats.Milp.Branch_bound.nodes;
@@ -182,7 +202,7 @@ let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
         rounds;
         c6_constraints = !c6_total;
         nodes = !nodes_total;
-        time_s = Unix.gettimeofday () -. t0;
+        time_s = Milp.Clock.now () -. t0;
         status;
         gap;
         milp_vars = Milp.Problem.num_vars inst.Formulation.problem;

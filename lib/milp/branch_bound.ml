@@ -18,7 +18,34 @@ type stats = {
   time_s : float;
   best_bound : float;  (** proven bound on the optimum (minimization sense) *)
   gap : float option;  (** relative gap between incumbent and bound *)
+  foreign_prunes : int;
+      (** prune events whose cutoff came from an imported incumbent *)
 }
+
+(* Cooperation hooks for portfolio/parallel drivers. All callbacks run on
+   the solving domain; objectives are in the problem's own sense and
+   solution vectors are fresh copies the callee may keep. *)
+type hooks = {
+  should_stop : unit -> bool;
+  on_incumbent : obj:float -> float array -> unit;
+  get_incumbent : unit -> (float * float array) option;
+}
+
+let no_hooks =
+  {
+    should_stop = (fun () -> false);
+    on_incumbent = (fun ~obj:_ _ -> ());
+    get_incumbent = (fun () -> None);
+  }
+
+(* Deterministic per-(variable, seed) jitter in [0, 1) used to diversify
+   the branching order across portfolio workers; seed 0 = no jitter (the
+   classic most-fractional rule). *)
+let branch_jitter ~seed j =
+  if seed = 0 then 0.0
+  else
+    let h = ((j + 1) * 2654435761 + (seed * 40503)) land 0xFFFF in
+    float_of_int h /. 65536.0
 
 type solution = {
   status : status;
@@ -124,16 +151,19 @@ let feasibility_shortcut (p : Problem.t) incumbent =
             time_s = 0.0;
             best_bound = c;
             gap = Some 0.0;
+            foreign_prunes = 0;
           };
       }
   | Some _ | None -> None
 
-let solve ?(time_limit_s = 60.0) ?(node_limit = 200_000) ?(int_eps = 1.0e-6)
-    ?incumbent ?(log_every = 0) (p : Problem.t) : solution =
+let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
+    ?(int_eps = 1.0e-6) ?incumbent ?(branch_seed = 0) ?(hooks = no_hooks)
+    ?(log_every = 0) (p : Problem.t) : solution =
   match feasibility_shortcut p incumbent with
   | Some early -> early
   | None ->
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
+  let deadline = match deadline with Some d -> d | None -> t0 +. time_limit_s in
   let n = Problem.num_vars p in
   let dir, obj_expr = Problem.objective p in
   (* Work in minimization sense internally. *)
@@ -158,13 +188,31 @@ let solve ?(time_limit_s = 60.0) ?(node_limit = 200_000) ?(int_eps = 1.0e-6)
   let best_x = ref None in
   let nodes = ref 0 in
   let simplex_solves = ref 0 in
+  (* does the current cutoff come from an imported (foreign) incumbent? *)
+  let cutoff_foreign = ref false in
+  let foreign_prunes = ref 0 in
   let consider_incumbent x obj_orig =
     let obj_min = sense *. obj_orig in
     if obj_min < !best_obj -. 1.0e-9 then begin
       best_obj := obj_min;
-      best_x := Some (Array.copy x);
+      let kept = Array.copy x in
+      best_x := Some kept;
+      cutoff_foreign := false;
+      hooks.on_incumbent ~obj:obj_orig kept;
       Log.info (fun f -> f "new incumbent: obj=%g (node %d)" obj_orig !nodes)
     end
+  in
+  let import_foreign () =
+    match hooks.get_incumbent () with
+    | None -> ()
+    | Some (obj, x) ->
+      let obj_min = sense *. obj in
+      if obj_min < !best_obj -. 1.0e-9 then begin
+        best_obj := obj_min;
+        best_x := Some (Array.copy x);
+        cutoff_foreign := true;
+        Log.debug (fun f -> f "imported foreign incumbent: obj=%g" obj)
+      end
   in
   (match incumbent with
    | Some x ->
@@ -185,13 +233,18 @@ let solve ?(time_limit_s = 60.0) ?(node_limit = 200_000) ?(int_eps = 1.0e-6)
     match Heap.pop heap with
     | None -> continue := false
     | Some (prio, _, node) ->
-      if prio >= !best_obj -. 1.0e-9 then
+      import_foreign ();
+      if hooks.should_stop () then begin
+        hit_limit := true;
+        continue := false
+      end
+      else if prio >= !best_obj -. 1.0e-9 then begin
         (* bound-based prune; the heap is ordered so everything else is
            prunable too *)
+        if !cutoff_foreign then incr foreign_prunes;
         continue := false
-      else if
-        !nodes >= node_limit || Unix.gettimeofday () -. t0 > time_limit_s
-      then begin
+      end
+      else if !nodes >= node_limit || Clock.now () > deadline then begin
         hit_limit := true;
         continue := false
       end
@@ -210,7 +263,7 @@ let solve ?(time_limit_s = 60.0) ?(node_limit = 200_000) ?(int_eps = 1.0e-6)
             hi.(j) <- Float.min hi.(j) h)
           node.overrides;
         incr simplex_solves;
-        (match Simplex.solve ~deadline:(t0 +. time_limit_s) ~bounds:(lo, hi) p with
+        (match Simplex.solve ~deadline ~bounds:(lo, hi) p with
          | Simplex.Infeasible ->
            if node.depth = 0 then root_infeasible := true
          | Simplex.Unbounded ->
@@ -223,7 +276,10 @@ let solve ?(time_limit_s = 60.0) ?(node_limit = 200_000) ?(int_eps = 1.0e-6)
            hit_limit := true
          | Simplex.Optimal { obj; x } ->
            let bound_min = sense *. obj in
-           if bound_min < !best_obj -. 1.0e-9 then begin
+           if bound_min >= !best_obj -. 1.0e-9 then begin
+             if !cutoff_foreign then incr foreign_prunes
+           end
+           else begin
              (* rounding heuristic *)
              Array.blit x 0 rounded 0 n;
              Array.iter
@@ -231,16 +287,23 @@ let solve ?(time_limit_s = 60.0) ?(node_limit = 200_000) ?(int_eps = 1.0e-6)
                int_vars;
              if Problem.check_solution ~eps:1.0e-6 p rounded = [] then
                consider_incumbent rounded (Linexpr.eval obj_expr rounded);
-             (* branching variable: most fractional *)
+             (* branching variable: most fractional, with a per-seed
+                jitter diversifying the order across portfolio workers
+                (seed 0 = the classic rule, bit-for-bit) *)
              let branch_var = ref (-1) in
-             let best_frac = ref int_eps in
+             let best_score = ref int_eps in
              Array.iter
                (fun j ->
                  let v = x.(j) in
                  let frac = Float.abs (v -. Float.round v) in
-                 if frac > !best_frac then begin
-                   best_frac := frac;
-                   branch_var := j
+                 if frac > int_eps then begin
+                   let score =
+                     frac +. (0.5 *. branch_jitter ~seed:branch_seed j)
+                   in
+                   if score > !best_score then begin
+                     best_score := score;
+                     branch_var := j
+                   end
                  end)
                int_vars;
              if !branch_var < 0 then
@@ -266,7 +329,7 @@ let solve ?(time_limit_s = 60.0) ?(node_limit = 200_000) ?(int_eps = 1.0e-6)
            end)
       end
   done;
-  let time_s = Unix.gettimeofday () -. t0 in
+  let time_s = Clock.now () -. t0 in
   let open_bound =
     Heap.fold (fun acc (prio, _, _) -> Float.min acc prio) infinity heap
   in
@@ -305,5 +368,6 @@ let solve ?(time_limit_s = 60.0) ?(node_limit = 200_000) ?(int_eps = 1.0e-6)
         time_s;
         best_bound = sense *. best_bound_min;
         gap;
+        foreign_prunes = !foreign_prunes;
       };
   }

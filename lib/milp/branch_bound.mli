@@ -4,7 +4,12 @@
     to solve its formulation (see DESIGN.md, substitution 1). It supports
     warm incumbents, node/time limits with incumbent reporting (the
     behaviour the paper relies on for its OBJ-DMAT timeout results), and
-    reports proof bounds and relative gaps. *)
+    reports proof bounds and relative gaps.
+
+    For parallel portfolio search (see [Parallel.Portfolio]) the solver
+    additionally accepts cooperation {!hooks} — a cancellation check, an
+    incumbent-publication callback and an incumbent-import poll — and a
+    [branch_seed] that diversifies the branching order between workers. *)
 
 type status =
   | Optimal     (** incumbent proven optimal *)
@@ -19,6 +24,10 @@ type stats = {
   time_s : float;
   best_bound : float;  (** proven bound on the optimum, in the problem's own sense *)
   gap : float option;  (** relative incumbent/bound gap; [Some 0.] when optimal *)
+  foreign_prunes : int;
+      (** subtrees pruned against a cutoff that was imported through
+          {!hooks}[.get_incumbent] rather than found locally — the direct
+          evidence that shared-incumbent exchange did useful work *)
 }
 
 type solution = {
@@ -28,24 +37,59 @@ type solution = {
   stats : stats;
 }
 
+(** Cooperation hooks for portfolio/parallel drivers. All callbacks run
+    on the solving domain and must be safe to call from it:
+
+    - [should_stop] is polled at every node; returning [true] aborts the
+      search as if the time limit had expired (the best incumbent so far
+      is still reported);
+    - [on_incumbent ~obj x] fires whenever the search improves its
+      incumbent; [x] is a fresh copy the callee may keep, [obj] is in the
+      problem's own sense;
+    - [get_incumbent] is polled at every node; returning [Some (obj, x)]
+      strictly better than the local incumbent tightens the cutoff (the
+      array is copied before being stored).
+
+    Objectives flow through the hooks in the problem's original
+    (min/max) sense. *)
+type hooks = {
+  should_stop : unit -> bool;
+  on_incumbent : obj:float -> float array -> unit;
+  get_incumbent : unit -> (float * float array) option;
+}
+
+(** Inert hooks: never stop, publish nowhere, import nothing. *)
+val no_hooks : hooks
+
 (** Pure feasibility problems (constant objective) with a feasible
     incumbent need no search: returns the incumbent as [Optimal].
     Shared with {!Dfs_solver}. *)
 val feasibility_shortcut : Problem.t -> float array option -> solution option
 
-(** [solve ?time_limit_s ?node_limit ?int_eps ?incumbent ?log_every p]
-    solves the MILP [p].
+(** [solve ?time_limit_s ?deadline ?node_limit ?int_eps ?incumbent
+    ?branch_seed ?hooks ?log_every p] solves the MILP [p].
 
-    - [time_limit_s] (default 60): wall-clock limit; on expiry the best
-      incumbent is returned with status [Feasible].
+    - [deadline]: absolute monotonic {!Clock.now} instant after which the
+      best incumbent is returned with status [Feasible]. When given it
+      takes precedence over [time_limit_s]; portfolio workers all receive
+      the same [deadline], which is coherent across domains because the
+      clock is monotonic and machine-wide.
+    - [time_limit_s] (default 60): relative convenience form, equivalent
+      to [deadline = Clock.now () +. time_limit_s].
     - [incumbent]: a feasible assignment used as the initial cutoff.
+    - [branch_seed] (default 0): deterministic jitter diversifying the
+      branching order; 0 reproduces the classic most-fractional rule
+      bit-for-bit.
     - [int_eps] (default 1e-6): integrality tolerance.
     - [log_every]: if positive, log progress every that many nodes. *)
 val solve :
   ?time_limit_s:float ->
+  ?deadline:float ->
   ?node_limit:int ->
   ?int_eps:float ->
   ?incumbent:float array ->
+  ?branch_seed:int ->
+  ?hooks:hooks ->
   ?log_every:int ->
   Problem.t ->
   solution

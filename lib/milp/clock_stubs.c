@@ -1,0 +1,14 @@
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+/* Monotonic seconds since an arbitrary epoch. CLOCK_MONOTONIC is immune
+   to NTP slew/step and settimeofday, and is shared by all threads and
+   domains of the process. */
+CAMLprim value letdma_clock_monotonic_s(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return caml_copy_double((double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec);
+}

@@ -29,12 +29,28 @@ type state = {
   deadline : float;
   node_limit : int;
   int_eps : float;
+  branch_seed : int;
+  hooks : Branch_bound.hooks;
   mutable nodes : int;
   mutable rebuilds : int;
   mutable best_obj : float; (* minimization sense *)
   mutable best_x : float array option;
+  mutable cutoff_foreign : bool; (* cutoff came from an imported incumbent *)
+  mutable foreign_prunes : int;
   mutable exhausted : bool; (* completed without hitting any limit *)
+  mutable dropped_vertex : bool;
+      (* an integral LP vertex that would have improved the incumbent
+         failed the exact feasibility re-check even on a fresh
+         factorization: the search is exhaustive but not conclusive *)
 }
+
+(* Same per-(variable, seed) jitter as {!Branch_bound}: diversifies the
+   branching order across portfolio workers; seed 0 = classic rule. *)
+let branch_jitter ~seed j =
+  if seed = 0 then 0.0
+  else
+    let h = ((j + 1) * 2654435761 + (seed * 40503)) land 0xFFFF in
+    float_of_int h /. 65536.0
 
 let lp_iter_budget = 200_000
 
@@ -66,7 +82,10 @@ let consider_incumbent st x =
     let obj = st.sense *. Linexpr.eval st.obj_expr x in
     if obj < st.best_obj -. 1.0e-9 then begin
       st.best_obj <- obj;
-      st.best_x <- Some (Array.copy x);
+      let kept = Array.copy x in
+      st.best_x <- Some kept;
+      st.cutoff_foreign <- false;
+      st.hooks.Branch_bound.on_incumbent ~obj:(st.sense *. obj) kept;
       Log.info (fun f ->
           f "dfs: new incumbent obj=%g at node %d" (st.sense *. obj) st.nodes)
     end;
@@ -97,7 +116,7 @@ let move_bounds st var ~lo ~hi =
             with a fresh factorization (exact) before pruning *)
          rebuild st
        | `Limit ->
-         if Unix.gettimeofday () > st.deadline then raise Limit_reached
+         if Clock.now () > st.deadline then raise Limit_reached
          else begin
            Log.debug (fun f -> f "dfs: dual repair stalled; rebuilding");
            rebuild st
@@ -112,24 +131,43 @@ let move_bounds st var ~lo ~hi =
    drift-recovery rebuild against recursing forever. *)
 let rec explore ?(fresh = false) st =
   st.nodes <- st.nodes + 1;
-  if st.nodes > st.node_limit || Unix.gettimeofday () > st.deadline then
+  if st.nodes > st.node_limit || Clock.now () > st.deadline then
     raise Limit_reached;
+  if st.hooks.Branch_bound.should_stop () then raise Limit_reached;
+  (match st.hooks.Branch_bound.get_incumbent () with
+   | None -> ()
+   | Some (obj, x) ->
+     let obj_min = st.sense *. obj in
+     if obj_min < st.best_obj -. 1.0e-9 then begin
+       st.best_obj <- obj_min;
+       st.best_x <- Some (Array.copy x);
+       st.cutoff_foreign <- true;
+       Log.debug (fun f -> f "dfs: imported foreign incumbent obj=%g" obj)
+     end);
   let obj_min = st.sense *. Simplex_core.objective_value st.tb in
-  if obj_min < st.best_obj -. 1.0e-9 then begin
+  if obj_min >= st.best_obj -. 1.0e-9 then begin
+    if st.cutoff_foreign then st.foreign_prunes <- st.foreign_prunes + 1
+  end
+  else begin
     let x = Simplex_core.solution st.tb in
     (* rounding heuristic *)
     let rounded = Array.copy x in
     Array.iter (fun j -> rounded.(j) <- Float.round rounded.(j)) st.int_vars;
     ignore (consider_incumbent st rounded);
-    (* most fractional variable *)
+    (* most fractional variable (seed-jittered for portfolio diversity) *)
     let branch_var = ref (-1) in
-    let best_frac = ref st.int_eps in
+    let best_score = ref st.int_eps in
     Array.iter
       (fun j ->
         let frac = Float.abs (x.(j) -. Float.round x.(j)) in
-        if frac > !best_frac then begin
-          best_frac := frac;
-          branch_var := j
+        if frac > st.int_eps then begin
+          let score =
+            frac +. (0.5 *. branch_jitter ~seed:st.branch_seed j)
+          in
+          if score > !best_score then begin
+            best_score := score;
+            branch_var := j
+          end
         end)
       st.int_vars;
     if !branch_var < 0 then begin
@@ -137,10 +175,18 @@ let rec explore ?(fresh = false) st =
          means the incrementally-maintained basics have drifted: rebuild
          the tableau under the current (mostly fixed, hence cheap) bounds
          and examine the fresh optimum once *)
-      if (not (consider_incumbent st x)) && not fresh then begin
-        st.nodes <- st.nodes - 1;
-        if rebuild st then explore ~fresh:true st
-      end
+      if not (consider_incumbent st x) then
+        if fresh then begin
+          (* the fresh vertex is still not certifiable: without it the
+             exhausted search cannot claim Infeasible (or Optimal, if it
+             beats the incumbent) *)
+          if st.sense *. Linexpr.eval st.obj_expr x < st.best_obj -. 1.0e-9
+          then st.dropped_vertex <- true
+        end
+        else begin
+          st.nodes <- st.nodes - 1;
+          if rebuild st then explore ~fresh:true st
+        end
     end
     else begin
       let j = !branch_var in
@@ -152,8 +198,12 @@ let rec explore ?(fresh = false) st =
       (* dive up unless the value is clearly near its floor: on the
          set-partitioning structure of assignment models (sum of binaries
          = 1), fixing variables to 1 is what completes feasible leaves *)
+      let dive_threshold =
+        if st.branch_seed = 0 then 0.2
+        else 0.05 +. (0.5 *. branch_jitter ~seed:st.branch_seed j)
+      in
       let first, second =
-        if v -. fl <= 0.2 then (down, up) else (up, down)
+        if v -. fl <= dive_threshold then (down, up) else (up, down)
       in
       let visit side =
         let lo, hi = side () in
@@ -189,19 +239,23 @@ let fallback_reason p =
     p;
   !bad
 
-let solve ?(time_limit_s = 60.0) ?(node_limit = 2_000_000) ?(int_eps = 1.0e-6)
-    ?incumbent ?log_every (p : Problem.t) : Branch_bound.solution =
+let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 2_000_000)
+    ?(int_eps = 1.0e-6) ?incumbent ?(branch_seed = 0)
+    ?(hooks = Branch_bound.no_hooks) ?log_every (p : Problem.t) :
+    Branch_bound.solution =
   ignore log_every;
   match Branch_bound.feasibility_shortcut p incumbent with
   | Some early -> early
   | None ->
+  let t0 = Clock.now () in
+  let deadline =
+    match deadline with Some d -> d | None -> t0 +. time_limit_s
+  in
   match fallback_reason p with
   | Some reason ->
     Log.warn (fun f -> f "dfs: falling back to best-first solver (%s)" reason);
-    Branch_bound.solve ~time_limit_s ~int_eps ?incumbent p
+    Branch_bound.solve ~deadline ~int_eps ?incumbent ~branch_seed ~hooks p
   | None ->
-    let t0 = Unix.gettimeofday () in
-    let deadline = t0 +. time_limit_s in
     let n = Problem.num_vars p in
     let dir, obj_expr = Problem.objective p in
     let sense = match dir with Problem.Minimize -> 1.0 | Problem.Maximize -> -1.0 in
@@ -231,9 +285,10 @@ let solve ?(time_limit_s = 60.0) ?(node_limit = 2_000_000) ?(int_eps = 1.0e-6)
            {
              Branch_bound.nodes = 0;
              simplex_solves = 0;
-             time_s = Unix.gettimeofday () -. t0;
+             time_s = Clock.now () -. t0;
              best_bound = (if sense > 0.0 then neg_infinity else infinity);
              gap = None;
+             foreign_prunes = 0;
            };
        }
      | Some tb ->
@@ -249,11 +304,16 @@ let solve ?(time_limit_s = 60.0) ?(node_limit = 2_000_000) ?(int_eps = 1.0e-6)
            deadline;
            node_limit;
            int_eps;
+           branch_seed;
+           hooks;
            nodes = 0;
            rebuilds = 0;
            best_obj = infinity;
            best_x = None;
+           cutoff_foreign = false;
+           foreign_prunes = 0;
            exhausted = false;
+           dropped_vertex = false;
          }
        in
        (match incumbent with
@@ -282,7 +342,7 @@ let solve ?(time_limit_s = 60.0) ?(node_limit = 2_000_000) ?(int_eps = 1.0e-6)
              st.exhausted <- true
            with Limit_reached -> ())
         | `Root_infeasible | `Root_unbounded | `Limit -> ());
-       let time_s = Unix.gettimeofday () -. t0 in
+       let time_s = Clock.now () -. t0 in
        let has_incumbent = st.best_x <> None in
        let status =
          match root_status with
@@ -292,7 +352,7 @@ let solve ?(time_limit_s = 60.0) ?(node_limit = 2_000_000) ?(int_eps = 1.0e-6)
          | `Limit ->
            if has_incumbent then Branch_bound.Feasible else Branch_bound.Unknown
          | `Ok ->
-           if st.exhausted then
+           if st.exhausted && not st.dropped_vertex then
              if has_incumbent then Branch_bound.Optimal
              else Branch_bound.Infeasible
            else if has_incumbent then Branch_bound.Feasible
@@ -326,5 +386,6 @@ let solve ?(time_limit_s = 60.0) ?(node_limit = 2_000_000) ?(int_eps = 1.0e-6)
              time_s;
              best_bound = sense *. best_bound_min;
              gap;
+             foreign_prunes = st.foreign_prunes;
            };
        })

@@ -9,13 +9,22 @@
     interchangeable (and tested against each other). The DFS explores far
     more nodes per second; its proven bound on timeout is the root
     relaxation, so reported gaps can be wider. Falls back to
-    {!Branch_bound} when a model has unbounded integer variables. *)
+    {!Branch_bound} when a model has unbounded integer variables.
+
+    Limit semantics are identical to {!Branch_bound.solve}: [deadline] is
+    an absolute monotonic {!Clock.now} instant taking precedence over the
+    relative [time_limit_s], and the same cooperation {!Branch_bound.hooks}
+    / [branch_seed] diversification are honoured, so a portfolio can hand
+    both engines the same deadline and shared incumbent cell. *)
 
 val solve :
   ?time_limit_s:float ->
+  ?deadline:float ->
   ?node_limit:int ->
   ?int_eps:float ->
   ?incumbent:float array ->
+  ?branch_seed:int ->
+  ?hooks:Branch_bound.hooks ->
   ?log_every:int ->
   Problem.t ->
   Branch_bound.solution

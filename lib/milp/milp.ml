@@ -6,8 +6,11 @@
     primal simplex ({!Simplex} over the persistent {!Simplex_core}), a
     best-first branch-and-bound driver ({!Branch_bound}) and a faster
     depth-first diving solver with dual-simplex warm starts
-    ({!Dfs_solver}). *)
+    ({!Dfs_solver}). All deadlines are absolute instants on the
+    monotonic {!Clock}, so wall-clock jumps never bend a time limit and
+    one deadline value is coherent across parallel solver domains. *)
 
+module Clock = Clock
 module Linexpr = Linexpr
 module Problem = Problem
 module Simplex = Simplex

@@ -18,8 +18,8 @@ type result =
     [bounds] optionally overrides every variable's bounds (two arrays of
     length [Problem.num_vars p]) — used by branch-and-bound nodes.
     [max_iters] caps total simplex pivots across both phases (default
-    200_000); [deadline] is an absolute [Unix.gettimeofday] instant after
-    which the solve aborts with [Iteration_limit]. *)
+    200_000); [deadline] is an absolute monotonic {!Clock.now} instant
+    after which the solve aborts with [Iteration_limit]. *)
 val solve :
   ?bounds:float array * float array ->
   ?max_iters:int ->

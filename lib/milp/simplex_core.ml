@@ -211,7 +211,7 @@ let run_phase tb cost ~extra_costs ~max_iters ~deadline =
   let rec loop () =
     if
       tb.iters > max_iters
-      || (tb.iters land 127 = 0 && Unix.gettimeofday () > deadline)
+      || (tb.iters land 127 = 0 && Clock.now () > deadline)
     then `Iteration_limit
     else begin
       let bland = !stall > bland_threshold in
@@ -630,7 +630,7 @@ let dual_restore tb ~max_iters ~deadline =
   let rec loop () =
     let done_iters = tb.iters - start_iters in
     if done_iters > max_iters then `Limit
-    else if tb.iters land 127 = 0 && Unix.gettimeofday () > deadline then `Limit
+    else if tb.iters land 127 = 0 && Clock.now () > deadline then `Limit
     else begin
       (* after a long stall, refresh the anti-degeneracy perturbation once,
          then fall back to smallest-index selections *)

@@ -1,0 +1,17 @@
+(** Multicore solving on OCaml 5 domains.
+
+    Three layers, no global state:
+
+    - {!Pool}: fixed-size domain pool with futures, exception funneling
+      and cancellation tokens — the substrate the other two build on;
+    - {!Portfolio}: diversified solver configs racing the {e same} MILP
+      with a shared atomic incumbent (any worker's incumbent tightens
+      every other worker's pruning; first conclusive worker cancels the
+      rest), plus a deterministic mode that is bit-identical at any
+      jobs count;
+    - {!Sweep}: batch runner farming {e independent} instances with
+      per-item deadlines carved from one shared absolute deadline. *)
+
+module Pool = Pool
+module Portfolio = Portfolio
+module Sweep = Sweep

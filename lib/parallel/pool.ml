@@ -1,0 +1,122 @@
+(* Fixed-size domain pool. One mutex/condition pair guards the queue;
+   each future carries its own pair so awaiting never contends with
+   submission. Worker domains exit only at shutdown, after draining the
+   queue, so no submitted task is ever dropped. *)
+
+module Token = struct
+  type t = bool Atomic.t
+
+  let create () = Atomic.make false
+  let cancel t = Atomic.set t true
+  let cancelled t = Atomic.get t
+end
+
+type 'a state = Pending | Done of ('a, exn) result
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : 'a state;
+}
+
+type task = Task : (unit -> 'a) * 'a future -> task
+
+type t = {
+  m : Mutex.t;
+  c : Condition.t; (* queue became non-empty, or the pool is closing *)
+  queue : task Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t array;
+  jobs : int;
+}
+
+let jobs t = t.jobs
+
+let fulfil fut r =
+  Mutex.lock fut.fm;
+  fut.state <- Done r;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+let run_task (Task (f, fut)) =
+  let r = try Ok (f ()) with e -> Error e in
+  fulfil fut r
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.queue && not t.closing do
+    Condition.wait t.c t.m
+  done;
+  if Queue.is_empty t.queue then begin
+    (* closing and drained *)
+    Mutex.unlock t.m
+  end
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.m;
+    run_task task;
+    worker_loop t
+  end
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | Some j when j >= 1 -> j
+    | Some j -> invalid_arg (Fmt.str "Pool.create: jobs must be >= 1, got %d" j)
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  let t =
+    {
+      m = Mutex.create ();
+      c = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      workers = [||];
+      jobs;
+    }
+  in
+  t.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let async t f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  Mutex.lock t.m;
+  if t.closing then begin
+    Mutex.unlock t.m;
+    invalid_arg "Pool.async: pool is shut down"
+  end;
+  Queue.push (Task (f, fut)) t.queue;
+  Condition.signal t.c;
+  Mutex.unlock t.m;
+  fut
+
+let await fut =
+  Mutex.lock fut.fm;
+  let rec wait () =
+    match fut.state with
+    | Pending ->
+      Condition.wait fut.fc fut.fm;
+      wait ()
+    | Done r -> r
+  in
+  let r = wait () in
+  Mutex.unlock fut.fm;
+  r
+
+let await_exn fut = match await fut with Ok v -> v | Error e -> raise e
+
+let map t f xs =
+  let futures = List.map (fun x -> async t (fun () -> f x)) xs in
+  List.map await futures
+
+let shutdown t =
+  Mutex.lock t.m;
+  let first = not t.closing in
+  t.closing <- true;
+  Condition.broadcast t.c;
+  Mutex.unlock t.m;
+  if first then Array.iter Domain.join t.workers
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,56 @@
+(** Fixed-size domain pool: a work queue served by OCaml 5 domains.
+
+    The pool holds no global state — tests (and nested users such as the
+    pipeline racing two portfolio solves) can spin pools up and down
+    freely; every pool owns its domains and {!shutdown} joins them all.
+    Exceptions raised by a task are funneled into its future and
+    surfaced as [Error] by {!await} — a crashing task can neither kill a
+    worker domain nor be silently lost.
+
+    Tasks must not block on futures of the same pool (a task awaiting a
+    task behind it in the queue of a saturated pool deadlocks); the
+    intended users — portfolio racing and batch sweeps — only await from
+    the submitting (non-worker) domain. *)
+
+(** Cancellation token: a lock-free flag shared between a coordinator and
+    any number of workers polling it. *)
+module Token : sig
+  type t
+
+  val create : unit -> t
+  val cancel : t -> unit
+  val cancelled : t -> bool
+end
+
+type t
+
+(** Result handle of an {!async} task. *)
+type 'a future
+
+(** [create ?jobs ()] spawns [jobs] worker domains (default
+    [Domain.recommended_domain_count ()], min 1). *)
+val create : ?jobs:int -> unit -> t
+
+val jobs : t -> int
+
+(** Submit a task; raises [Invalid_argument] after {!shutdown}. *)
+val async : t -> (unit -> 'a) -> 'a future
+
+(** Block until the task finishes. [Error e] carries the task's
+    uncaught exception. Safe to call repeatedly. *)
+val await : 'a future -> ('a, exn) result
+
+(** {!await}, re-raising the task's exception. *)
+val await_exn : 'a future -> 'a
+
+(** [map t f xs] runs [f x] for every element on the pool and waits for
+    them all; results are in input order. *)
+val map : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+
+(** Drain the queue, join every worker domain. Idempotent. Tasks already
+    queued are still executed before the workers exit. *)
+val shutdown : t -> unit
+
+(** [with_pool ?jobs f] runs [f] on a fresh pool and guarantees
+    {!shutdown}, also on exception. *)
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a

@@ -1,0 +1,107 @@
+(** Portfolio racing for MILP solves: diversified solver configurations
+    attack the {e same} problem concurrently across domains.
+
+    Each worker runs one {!config} — an engine (best-first
+    {!Milp.Branch_bound} or depth-first {!Milp.Dfs_solver}), a branching
+    perturbation seed and a warm/cold start choice — against the same
+    absolute monotonic deadline. Workers cooperate through a shared
+    atomic incumbent cell: any worker's new incumbent immediately
+    tightens every other worker's pruning cutoff (counted in {!stats} as
+    incumbent exchanges, and by the engines as
+    [Branch_bound.stats.foreign_prunes]), and the first worker to reach
+    a {e conclusive} status — proven optimality, infeasibility or
+    unboundedness — cancels the rest.
+
+    Thread-confinement contract: each worker builds its own simplex
+    state; the input [Problem.t] is shared {e read-only} (its [Vec]s and
+    persistent [Linexpr]s are only mutated by model-building calls, which
+    must not run while [solve] is in flight — the lazy Constraint-6
+    driver in [Letdma.Solve] mutates the model strictly {e between}
+    portfolio rounds).
+
+    {b Deterministic mode} ([deterministic:true]) makes the returned
+    solution bit-identical across runs at any jobs count: the config
+    list is fixed (independent of the pool size), incumbent sharing and
+    early cancellation are disabled so every config's search trajectory
+    is exactly its sequential one, and the winner is chosen by a fixed
+    tie-break (lowest-index config with status [Optimal]; see
+    {!val-solve}). The guarantee holds provided the budget lets the
+    designated configs finish — under a binding deadline the set of
+    finished configs depends on scheduling. *)
+
+type engine = Best_first | Depth_first
+
+type config = {
+  name : string;
+  engine : engine;
+  branch_seed : int;  (** branching-order perturbation; 0 = classic rule *)
+  use_warm : bool;  (** receive the caller's warm incumbent at start *)
+}
+
+(** The default diversified panel: engines alternate, seeds differ, the
+    first pair starts warm and the second cold. *)
+val default_configs : jobs:int -> config list
+
+(** Per-worker outcome, in config order. *)
+type report = {
+  config : config;
+  status : Milp.Branch_bound.status;
+  obj : float option;
+  nodes : int;
+  time_s : float;
+  foreign_prunes : int;  (** prunes on another worker's incumbent *)
+  imported : int;  (** incumbents this worker pulled from the cell *)
+  published : int;  (** incumbents this worker pushed to the cell *)
+}
+
+type stats = {
+  winner : int option;  (** index into [reports] of the accepted worker *)
+  reports : report list;
+  incumbents_published : int;  (** cell updates, all workers + warm seed *)
+  incumbents_imported : int;  (** cell reads that reached a worker *)
+  foreign_prunes : int;  (** total cross-worker prune events *)
+  time_s : float;
+  jobs : int;
+  deterministic : bool;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type result = { solution : Milp.Branch_bound.solution; stats : stats }
+
+(** [solve p] races the configs over [p].
+
+    - [jobs] (default [Domain.recommended_domain_count ()]) sizes the
+      worker pool when [pool] is not supplied;
+    - [configs] defaults to {!default_configs} over the jobs count — or
+      over a {e fixed} panel of 4 in deterministic mode, so the racing
+      width never changes the answer;
+    - [deadline] (absolute, {!Milp.Clock}) is handed verbatim to every
+      worker; [time_limit_s] (default 60) is the relative fallback;
+    - [incumbent] warm-starts the [use_warm] configs and, in
+      non-deterministic mode, pre-seeds the shared cell so every worker
+      starts with the same cutoff;
+    - [cancel] is an external abort switch: cancelling it stops every
+      worker at its next node (the race's own first-conclusive
+      cancellation still applies on top). In deterministic mode the
+      token is still polled, but cancelling it obviously forfeits the
+      bit-identity guarantee for that run.
+
+    Winner selection: non-deterministic mode returns the first worker
+    with a conclusive status (cancelling the rest), else the best
+    incumbent in the problem's sense, ties to the lowest config index.
+    Deterministic mode returns the lowest-index config reporting
+    [Optimal], else best incumbent / lowest index, else the most
+    informative failure status. *)
+val solve :
+  ?pool:Pool.t ->
+  ?jobs:int ->
+  ?configs:config list ->
+  ?deterministic:bool ->
+  ?cancel:Pool.Token.t ->
+  ?deadline:float ->
+  ?time_limit_s:float ->
+  ?node_limit:int ->
+  ?incumbent:float array ->
+  Milp.Problem.t ->
+  result

@@ -1,0 +1,48 @@
+(* Deadline carving: each item, as it starts, takes an equal share of
+   the time remaining for the waves of work still unstarted. [unstarted]
+   is decremented with a single atomic fetch-and-add, so the carve is
+   race-free without a lock. *)
+
+type ('a, 'b) outcome = {
+  item : 'a;
+  result : ('b, exn) result;
+  deadline : float;
+  time_s : float;
+}
+
+let carve ~global ~unstarted ~jobs =
+  match global with
+  | None -> infinity
+  | Some g ->
+    (* this item is one of [left] unstarted ones (itself included) *)
+    let left = max 1 (Atomic.fetch_and_add unstarted (-1)) in
+    let waves = (left + jobs - 1) / jobs in
+    let now = Milp.Clock.now () in
+    let remaining = Float.max 0.0 (g -. now) in
+    Float.min g (now +. (remaining /. float_of_int waves))
+
+let map ?pool ?jobs ?deadline f items =
+  let with_p g =
+    match pool with Some pl -> g pl | None -> Pool.with_pool ?jobs g
+  in
+  with_p @@ fun pl ->
+  let jobs = Pool.jobs pl in
+  let unstarted = Atomic.make (List.length items) in
+  let futures =
+    List.map
+      (fun item ->
+        Pool.async pl (fun () ->
+            let d = carve ~global:deadline ~unstarted ~jobs in
+            let t0 = Milp.Clock.now () in
+            let result = try Ok (f ~deadline:d item) with e -> Error e in
+            (result, d, Milp.Clock.now () -. t0)))
+      items
+  in
+  List.map2
+    (fun item fut ->
+      match Pool.await fut with
+      | Ok (result, deadline, time_s) -> { item; result; deadline; time_s }
+      | Error e ->
+        (* can only happen if the pool machinery itself failed *)
+        { item; result = Error e; deadline = nan; time_s = 0.0 })
+    items futures

@@ -1,0 +1,37 @@
+(** Batch sweep runner: farm independent instances over a domain pool
+    under one shared absolute deadline.
+
+    Unlike {!Portfolio}, which races many configs on {e one} problem,
+    a sweep maps one function over {e many} independent instances —
+    parameter sweeps ([fig2] utilisation points, [alpha] grids), batch
+    experiment runs — and carves the global time budget into per-item
+    deadlines so early items cannot starve late ones. *)
+
+type ('a, 'b) outcome = {
+  item : 'a;
+  result : ('b, exn) result;  (** [Error e] = the item's function raised *)
+  deadline : float;  (** absolute per-item deadline the item ran under *)
+  time_s : float;  (** wall time the item actually took *)
+}
+
+(** [map f items] runs [f ~deadline item] for every item on a pool,
+    returning outcomes in input order.
+
+    - [jobs] (default [Domain.recommended_domain_count ()]) sizes the
+      pool when [pool] is not supplied;
+    - [deadline] is the shared absolute ({!Milp.Clock}) budget. Each
+      item receives [min deadline (now +. remaining /. waves)], where
+      [waves] is the number of pool-width batches the {e unstarted}
+      items still form — so the remaining budget is split fairly among
+      the work left, and slack released by fast items flows to later
+      ones. Without [deadline] every item gets [infinity].
+
+    Item exceptions are funneled into their outcome ([Error]); one
+    crashing instance never aborts the sweep. *)
+val map :
+  ?pool:Pool.t ->
+  ?jobs:int ->
+  ?deadline:float ->
+  (deadline:float -> 'a -> 'b) ->
+  'a list ->
+  ('a, 'b) outcome list

@@ -680,8 +680,8 @@ let test_pipeline_lying_solver_falls_back () =
     { Certify.source = Certify.Milp_optimal; checks = 9999; warnings = [];
       time_s = 0.0 }
   in
-  let lying ~deadline_s:_ ~engine:_ ~warm:_ ~options objective app groups
-      ~gamma:g =
+  let lying ~deadline_s:_ ~engine:_ ~jobs:_ ~cancel:_ ~warm:_ ~options
+      objective app groups ~gamma:g =
     let inst = Formulation.make ~options objective app groups ~gamma:g in
     {
       Solve.solution = Some corrupted;
@@ -728,16 +728,17 @@ let test_pipeline_no_comms () =
   | _ -> Alcotest.fail "expected No_communications"
 
 (* regression for the shared-deadline refactor: an already-expired
-   absolute deadline stops the lazy loop before the first round *)
+   absolute deadline (a monotonic Clock instant) stops the lazy loop
+   before the first round *)
 let test_solve_expired_deadline () =
   let app = fixture () in
   let groups = Groups.compute app in
   let gamma = gamma_for app 0.3 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Milp.Clock.now () in
   let r =
     Solve.solve ~deadline_s:(t0 -. 1.0) Formulation.No_obj app groups ~gamma
   in
-  check_bool "returns promptly" true (Unix.gettimeofday () -. t0 < 2.0);
+  check_bool "returns promptly" true (Milp.Clock.now () -. t0 < 2.0);
   check_bool "no solution" true (r.Solve.solution = None);
   check_bool "no certificate" true (r.Solve.certificate = None);
   check_int "no rounds ran" 0 r.Solve.stats.Solve.rounds;

@@ -1,0 +1,377 @@
+(* Tests for the lib/parallel subsystem: domain pool, portfolio racing,
+   batch sweeps — plus the cross-engine equivalence property over MILPs
+   built from random Workload.Generator instances. *)
+
+open Let_sem
+
+module P = Milp.Problem
+module L = Milp.Linexpr
+module B = Milp.Branch_bound
+module Pool = Parallel.Pool
+module Portfolio = Parallel.Portfolio
+module Sweep = Parallel.Sweep
+
+exception Boom
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_order () =
+  Pool.with_pool ~jobs:4 (fun pl ->
+      check_int "pool size" 4 (Pool.jobs pl);
+      let rs = Pool.map pl (fun x -> x * x) [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+      Alcotest.(check (list int))
+        "squares in input order"
+        [ 1; 4; 9; 16; 25; 36; 49; 64 ]
+        (List.map (function Ok v -> v | Error e -> raise e) rs))
+
+let test_pool_exception_funnel () =
+  Pool.with_pool ~jobs:2 (fun pl ->
+      let bad = Pool.async pl (fun () -> raise Boom) in
+      let good = Pool.async pl (fun () -> 41 + 1) in
+      (match Pool.await bad with
+       | Error Boom -> ()
+       | Error e -> Alcotest.fail ("unexpected exception " ^ Printexc.to_string e)
+       | Ok _ -> Alcotest.fail "crashing task reported Ok");
+      (* the worker that ran the crashing task must still be alive *)
+      check_int "pool survives a crash" 42 (Pool.await_exn good))
+
+let test_pool_shutdown () =
+  let pl = Pool.create ~jobs:1 () in
+  let f = Pool.async pl (fun () -> 7) in
+  Pool.shutdown pl;
+  Pool.shutdown pl (* idempotent *);
+  check_int "queued task still ran" 7 (Pool.await_exn f);
+  (match Pool.async pl (fun () -> 0) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "async after shutdown must raise");
+  match Pool.create ~jobs:0 () with
+  | exception Invalid_argument _ -> ()
+  | pl ->
+    Pool.shutdown pl;
+    Alcotest.fail "jobs=0 must be rejected"
+
+let test_token () =
+  let t = Pool.Token.create () in
+  check_bool "fresh token not cancelled" false (Pool.Token.cancelled t);
+  Pool.Token.cancel t;
+  check_bool "cancelled after cancel" true (Pool.Token.cancelled t)
+
+(* ------------------------------------------------------------------ *)
+(* Foreign-incumbent pruning through the hooks, deterministically      *)
+(* ------------------------------------------------------------------ *)
+
+(* minimize x, x integer in [0, 10], x >= 2.5. The LP relaxation is
+   2.5; a foreign incumbent of 3.0 delivered through get_incumbent
+   makes the x>=3 branch (bound exactly 3.0) prunable only thanks to
+   that import — which must be counted in foreign_prunes. *)
+let foreign_prune_problem () =
+  let p = P.create () in
+  let x = P.integer ~name:"x" ~lo:0.0 ~hi:10.0 p in
+  ignore (P.add_constr p (L.of_list [ (1.0, x) ]) P.Ge 2.5);
+  P.set_objective p P.Minimize (L.of_list [ (1.0, x) ]);
+  p
+
+let foreign_hooks () =
+  let delivered = ref false in
+  {
+    B.no_hooks with
+    B.get_incumbent =
+      (fun () ->
+        if !delivered then None
+        else begin
+          delivered := true;
+          Some (3.0, [| 3.0 |])
+        end);
+  }
+
+let check_foreign_prune name (s : B.solution) =
+  check_bool (name ^ ": optimal") true (s.B.status = B.Optimal);
+  (match s.B.obj with
+   | Some o -> Alcotest.(check (float 1e-9)) (name ^ ": obj") 3.0 o
+   | None -> Alcotest.fail (name ^ ": no objective"));
+  check_bool
+    (name ^ ": pruned on the foreign incumbent")
+    true
+    (s.B.stats.B.foreign_prunes >= 1)
+
+let test_foreign_prune_best_first () =
+  let s = B.solve ~hooks:(foreign_hooks ()) (foreign_prune_problem ()) in
+  check_foreign_prune "best-first" s
+
+let test_foreign_prune_dfs () =
+  let s =
+    Milp.Dfs_solver.solve ~hooks:(foreign_hooks ()) (foreign_prune_problem ())
+  in
+  check_foreign_prune "dfs" s
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic knapsack family with fractional LP roots, so every
+   engine has to branch. *)
+let knapsack seed =
+  let n = 8 in
+  let rand =
+    let state = ref (seed * 2654435761 land 0x3FFFFFFF) in
+    fun bound ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      1 + (!state mod bound)
+  in
+  let weights = Array.init n (fun _ -> rand 20) in
+  let values = Array.init n (fun _ -> rand 20) in
+  let cap = float_of_int (3 + rand 40) +. 0.5 in
+  let p = P.create () in
+  let xs = Array.init n (fun i -> P.binary ~name:(Printf.sprintf "k%d" i) p) in
+  ignore
+    (P.add_constr p
+       (L.of_list
+          (Array.to_list
+             (Array.mapi (fun i x -> (float_of_int weights.(i), x)) xs)))
+       P.Le cap);
+  P.set_objective p P.Maximize
+    (L.of_list
+       (Array.to_list (Array.mapi (fun i x -> (float_of_int values.(i), x)) xs)));
+  p
+
+let test_portfolio_deterministic_bit_identical () =
+  for seed = 1 to 8 do
+    let r1 =
+      Portfolio.solve ~jobs:1 ~deterministic:true ~time_limit_s:30.0
+        (knapsack seed)
+    in
+    let r4 =
+      Portfolio.solve ~jobs:4 ~deterministic:true ~time_limit_s:30.0
+        (knapsack seed)
+    in
+    let name what = Printf.sprintf "seed %d: %s" seed what in
+    check_bool (name "jobs=1 optimal") true
+      (r1.Portfolio.solution.B.status = B.Optimal);
+    check_bool (name "jobs=4 optimal") true
+      (r4.Portfolio.solution.B.status = B.Optimal);
+    check_bool (name "same winner") true
+      (r1.Portfolio.stats.Portfolio.winner = r4.Portfolio.stats.Portfolio.winner);
+    (* bit-identical, not approximately equal *)
+    check_bool (name "identical objective") true
+      (r1.Portfolio.solution.B.obj = r4.Portfolio.solution.B.obj);
+    check_bool (name "identical assignment") true
+      (r1.Portfolio.solution.B.x = r4.Portfolio.solution.B.x)
+  done
+
+let test_portfolio_incumbent_exchange () =
+  (* the all-zero vector is feasible for any knapsack: pre-seeding it
+     into the shared cell guarantees at least one publish, and every
+     worker that reaches its first poll imports it *)
+  let p = knapsack 3 in
+  let r =
+    Portfolio.solve ~jobs:4 ~time_limit_s:30.0
+      ~incumbent:(Array.make (P.num_vars p) 0.0)
+      p
+  in
+  let st = r.Portfolio.stats in
+  check_bool "solved" true (r.Portfolio.solution.B.status = B.Optimal);
+  check_int "raced with 4 workers" 4 (List.length st.Portfolio.reports);
+  check_bool "incumbents were published" true
+    (st.Portfolio.incumbents_published >= 1);
+  check_bool "incumbents were imported" true
+    (st.Portfolio.incumbents_imported >= 1)
+
+let test_portfolio_external_cancel () =
+  let cancel = Pool.Token.create () in
+  Pool.Token.cancel cancel;
+  let r = Portfolio.solve ~jobs:2 ~cancel ~time_limit_s:30.0 (knapsack 5) in
+  (* every worker observed the cancelled token at its first node *)
+  check_bool "no worker ran to optimality" true
+    (List.for_all
+       (fun (rep : Portfolio.report) -> rep.Portfolio.status <> B.Optimal)
+       r.Portfolio.stats.Portfolio.reports)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sweep_map_and_funnel () =
+  let outs =
+    Sweep.map ~jobs:3
+      (fun ~deadline:_ x -> if x = 3 then raise Boom else x * 2)
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list int))
+    "items in input order" [ 1; 2; 3; 4 ]
+    (List.map (fun (o : _ Sweep.outcome) -> o.Sweep.item) outs);
+  List.iter
+    (fun (o : _ Sweep.outcome) ->
+      match (o.Sweep.item, o.Sweep.result) with
+      | 3, Error Boom -> ()
+      | 3, _ -> Alcotest.fail "item 3 must funnel Boom"
+      | i, Ok v -> check_int "doubled" (2 * i) v
+      | _, Error e -> raise e)
+    outs
+
+let test_sweep_deadline_carving () =
+  let global = Milp.Clock.deadline_of ~limit_s:60.0 in
+  let outs =
+    Sweep.map ~jobs:2 ~deadline:global
+      (fun ~deadline x -> (deadline, x))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  List.iter
+    (fun (o : _ Sweep.outcome) ->
+      match o.Sweep.result with
+      | Ok (d, _) ->
+        check_bool "per-item deadline is finite" true (Float.is_finite d);
+        check_bool "never beyond the global deadline" true (d <= global +. 1e-9);
+        check_bool "matches the recorded deadline" true (d = o.Sweep.deadline)
+      | Error e -> raise e)
+    outs;
+  (* without a global deadline, items run unbounded *)
+  let outs = Sweep.map ~jobs:2 (fun ~deadline x -> (deadline, x)) [ 1; 2 ] in
+  List.iter
+    (fun (o : _ Sweep.outcome) ->
+      match o.Sweep.result with
+      | Ok (d, _) -> check_bool "unbounded" true (d = infinity)
+      | Error e -> raise e)
+    outs
+
+(* ------------------------------------------------------------------ *)
+(* End to end: Solve.solve ?jobs on WATERS, certified both ways        *)
+(* ------------------------------------------------------------------ *)
+
+let test_solve_jobs_certified () =
+  let app = Workload.Waters2019.make () in
+  let groups = Groups.compute app in
+  match Rt_analysis.Sensitivity.gammas app ~alpha:0.2 with
+  | None -> Alcotest.fail "WATERS unschedulable"
+  | Some s ->
+    let gamma = s.Rt_analysis.Sensitivity.gamma in
+    let warm = Letdma.Heuristic.solve_unchecked app groups ~gamma in
+    let solve jobs =
+      Letdma.Solve.solve ~jobs ~time_limit_s:30.0 ?warm
+        Letdma.Formulation.No_obj app groups ~gamma
+    in
+    let r1 = solve 1 and r4 = solve 4 in
+    let certified name (r : Letdma.Solve.result) =
+      check_bool (name ^ ": has a solution") true
+        (Option.is_some r.Letdma.Solve.solution);
+      match r.Letdma.Solve.certificate with
+      | Some (Ok _) -> ()
+      | Some (Error _) -> Alcotest.fail (name ^ ": certification rejected")
+      | None -> Alcotest.fail (name ^ ": no certificate")
+    in
+    certified "sequential" r1;
+    certified "portfolio jobs=4" r4
+
+(* ------------------------------------------------------------------ *)
+(* Property: engines and portfolio agree on Workload.Generator MILPs   *)
+(* ------------------------------------------------------------------ *)
+
+let small_config =
+  {
+    Workload.Generator.default_config with
+    Workload.Generator.n_tasks = 3;
+    n_edges = 1;
+    max_labels_per_edge = 1;
+  }
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"engines and portfolio agree on random instances"
+    ~count:50
+    QCheck.(int_range 1 5_000)
+    (fun seed ->
+      let app = Workload.Generator.random ~seed ~config:small_config () in
+      let groups = Groups.compute app in
+      QCheck.assume (not (Comm.Set.is_empty (Groups.s0 groups)));
+      match Rt_analysis.Sensitivity.gammas app ~alpha:0.3 with
+      | None -> QCheck.assume_fail ()
+      | Some s when not s.Rt_analysis.Sensitivity.schedulable ->
+        QCheck.assume_fail ()
+      | Some s ->
+        let gamma = s.Rt_analysis.Sensitivity.gamma in
+        let inst =
+          Letdma.Formulation.make Letdma.Formulation.No_obj app groups ~gamma
+        in
+        let p = inst.Letdma.Formulation.problem in
+        let budget = 5.0 and nodes = 50_000 in
+        let bb = B.solve ~time_limit_s:budget ~node_limit:nodes p in
+        (* instances the sequential engine cannot close quickly are
+           outside this property's scope *)
+        QCheck.assume (bb.B.status = B.Optimal);
+        (* so are tolerance-edge instances whose optimum only satisfies
+           the constraints to worse than 1e-6: the engines legitimately
+           disagree on whether such a vertex is acceptable *)
+        QCheck.assume
+          (match bb.B.x with
+          | Some x -> P.check_solution ~eps:1.0e-6 p x = []
+          | None -> false);
+        let dfs =
+          Milp.Dfs_solver.solve ~time_limit_s:budget ~node_limit:nodes p
+        in
+        let pf jobs =
+          Portfolio.solve ~jobs ~deterministic:true ~time_limit_s:budget
+            ~node_limit:nodes p
+        in
+        let p1 = pf 1 and p4 = pf 4 in
+        let obj_of name (s : B.solution) =
+          if s.B.status <> B.Optimal then
+            QCheck.Test.fail_reportf "seed %d: %s not optimal" seed name;
+          match s.B.obj with
+          | Some o -> o
+          | None -> QCheck.Test.fail_reportf "seed %d: %s no obj" seed name
+        in
+        let reference = obj_of "best-first" bb in
+        List.for_all
+          (fun (name, s) -> Float.abs (obj_of name s -. reference) < 1e-6)
+          [
+            ("dfs", dfs);
+            ("portfolio jobs=1", p1.Portfolio.solution);
+            ("portfolio jobs=4", p4.Portfolio.solution);
+          ]
+        && p1.Portfolio.solution.B.obj = p4.Portfolio.solution.B.obj)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+          Alcotest.test_case "exception funneling" `Quick
+            test_pool_exception_funnel;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+          Alcotest.test_case "token" `Quick test_token;
+        ] );
+      ( "hooks",
+        [
+          Alcotest.test_case "foreign prune (best-first)" `Quick
+            test_foreign_prune_best_first;
+          Alcotest.test_case "foreign prune (dfs)" `Quick
+            test_foreign_prune_dfs;
+        ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "deterministic mode is bit-identical" `Quick
+            test_portfolio_deterministic_bit_identical;
+          Alcotest.test_case "incumbent exchange counters" `Quick
+            test_portfolio_incumbent_exchange;
+          Alcotest.test_case "external cancel" `Quick
+            test_portfolio_external_cancel;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "map order and funneling" `Quick
+            test_sweep_map_and_funnel;
+          Alcotest.test_case "deadline carving" `Quick
+            test_sweep_deadline_carving;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "Solve ?jobs certified on WATERS" `Slow
+            test_solve_jobs_certified;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest ~long:true prop_engines_agree ] );
+    ]
