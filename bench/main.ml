@@ -16,6 +16,9 @@
      EXT-MULTIDMA  — the protocol on 1/2/4 parallel DMA channels
      EXT-AUTOMOTIVE — signal-heavy workloads (WATERS 2015 statistics)
      SCALING       — MILP size vs WATERS label-table granularity
+     PRICING       — Dantzig vs devex vs Bland pricing on the TABLE1 /
+                     SCALING LP relaxations and whole searches, plus
+                     presolve-on/off end-to-end deltas
      ROBUSTNESS    — certifier overhead per solve, fault-injection sweep,
                      and the degradation ladder end to end
      MICRO         — Bechamel timings of the pipeline kernels
@@ -25,7 +28,12 @@
 
    --smoke runs a fast subset (FIG1 + a trimmed PARALLEL section) meant
    to finish well under 30s — the CI gate in ci.sh. --parallel runs only
-   the full PARALLEL section (the EXPERIMENTS.md speedup table). *)
+   the full PARALLEL section (the EXPERIMENTS.md speedup table).
+   --pricing runs only the PRICING ablation (Dantzig vs devex vs Bland,
+   presolve on/off). --json PREFIX additionally writes one
+   PREFIX_<SECTION>.json per executed section with its wall-clock and any
+   section-specific measurements, so the perf trajectory is machine-
+   readable across PRs (ci.sh keeps BENCH_FIG1.json as its smoke guard). *)
 
 open Rt_model
 open Let_sem
@@ -37,6 +45,98 @@ let time_limit =
 
 let section name =
   Fmt.pr "@.%s@.== %s ==@.%s@.@." (String.make 72 '=') name (String.make 72 '=')
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: a dependency-free JSON emitter             *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Num of float
+    | Int of int
+    | Str of string
+    | Bool of bool
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec write b = function
+    | Num f ->
+      if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.6g" f)
+      else Buffer.add_string b "null"
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          write b x)
+        xs;
+      Buffer.add_char b ']'
+    | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          write b (Str k);
+          Buffer.add_char b ':';
+          write b v)
+        kvs;
+      Buffer.add_char b '}'
+
+  let to_string t =
+    let b = Buffer.create 256 in
+    write b t;
+    Buffer.contents b
+end
+
+(* [--json PREFIX]: each executed section writes PREFIX_<NAME>.json with
+   its wall-clock plus whatever fields the section {!emit}ted. *)
+let json_prefix = ref None
+
+let emitted : (string * Json.t) list ref = ref []
+
+let emit key v = emitted := (key, v) :: !emitted
+
+let run_section name f =
+  emitted := [];
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let time_s = Unix.gettimeofday () -. t0 in
+  match !json_prefix with
+  | None -> ()
+  | Some prefix ->
+    let path = Printf.sprintf "%s_%s.json" prefix name in
+    let doc =
+      Json.Obj
+        (("section", Json.Str name)
+        :: ("time_s", Json.Num time_s)
+        :: List.rev !emitted)
+    in
+    let oc = open_out path in
+    output_string oc (Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Fmt.pr "@.[json] wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
 (* FIG 1                                                               *)
@@ -330,6 +430,214 @@ let scaling () =
     [ 1; 2; 3 ]
 
 (* ------------------------------------------------------------------ *)
+(* PRICING: entering-rule ablation + presolve on/off                   *)
+(* ------------------------------------------------------------------ *)
+
+let pricing_section () =
+  section
+    "PRICING: Dantzig vs devex vs Bland entering rules, presolve on/off";
+  let rules =
+    [
+      ("dantzig", Milp.Simplex.Dantzig);
+      ("devex", Milp.Simplex.Devex);
+      ("bland", Milp.Simplex.Bland);
+    ]
+  in
+  let status_name = function
+    | Milp.Branch_bound.Optimal -> "optimal"
+    | Milp.Branch_bound.Feasible -> "feasible(limit)"
+    | Milp.Branch_bound.Infeasible -> "infeasible"
+    | Milp.Branch_bound.Unbounded -> "unbounded"
+    | Milp.Branch_bound.Unknown -> "unknown"
+  in
+  (* 1. LP relaxations of the WATERS models: TABLE1 granularity (x1)
+     under all three paper objectives, SCALING granularity (x2) under the
+     two cheap ones (Bland is skipped at x2 — it needs minutes to go
+     nowhere). NO-OBJ is a pure phase-I feasibility solve, where devex
+     deliberately prices with the Dantzig scan; the objective-bearing
+     models exercise the devex phase-II candidate list. *)
+  let lp_rows = ref [] in
+  Fmt.pr "  LP relaxations (one root solve per rule, %.0fs deadline):@."
+    time_limit;
+  List.iter
+    (fun (labels_per_edge, objective, oname, rule_names) ->
+      let app = Workload.Waters2019.make ~labels_per_edge () in
+      let groups = Groups.compute app in
+      match Rt_analysis.Sensitivity.gammas app ~alpha:0.2 with
+      | None -> Fmt.pr "    waters-x%d: unschedulable@." labels_per_edge
+      | Some s ->
+        let gamma = s.Rt_analysis.Sensitivity.gamma in
+        let inst = Letdma.Formulation.make objective app groups ~gamma in
+        let p = inst.Letdma.Formulation.problem in
+        let iname = Fmt.str "waters-x%d/%s" labels_per_edge oname in
+        Fmt.pr "    %s (%d vars x %d rows):@." iname
+          (Milp.Problem.num_vars p) (Milp.Problem.num_constrs p);
+        List.iter
+          (fun (rname, rule) ->
+            if List.mem rname rule_names then begin
+              let cnt = Milp.Simplex_core.fresh_counters () in
+              let t0 = Unix.gettimeofday () in
+              let r =
+                Milp.Simplex.solve ~pricing:rule ~counters:cnt
+                  ~deadline:(Milp.Clock.now () +. time_limit)
+                  p
+              in
+              let dt = Unix.gettimeofday () -. t0 in
+              let status =
+                match r with
+                | Milp.Simplex.Optimal _ -> "optimal"
+                | Milp.Simplex.Infeasible -> "infeasible"
+                | Milp.Simplex.Unbounded -> "unbounded"
+                | Milp.Simplex.Iteration_limit -> "limit"
+              in
+              let pv = cnt.Milp.Simplex_core.pivots in
+              Fmt.pr
+                "      %-8s: %-9s %6d pivots  %9d priced  %5d refreshes  \
+                 %7.3fs@."
+                rname status pv cnt.Milp.Simplex_core.pricing_scanned
+                cnt.Milp.Simplex_core.pricing_refreshes dt;
+              lp_rows :=
+                Json.Obj
+                  [
+                    ("instance", Json.Str iname);
+                    ("rule", Json.Str rname);
+                    ("status", Json.Str status);
+                    ("pivots", Json.Int pv);
+                    ("priced", Json.Int cnt.Milp.Simplex_core.pricing_scanned);
+                    ( "refreshes",
+                      Json.Int cnt.Milp.Simplex_core.pricing_refreshes );
+                    ("time_s", Json.Num dt);
+                  ]
+                :: !lp_rows
+            end)
+          rules)
+    (let all = [ "dantzig"; "devex"; "bland" ] in
+     let cheap = [ "dantzig"; "devex" ] in
+     [
+       (1, Letdma.Formulation.No_obj, "NO-OBJ", all);
+       (1, Letdma.Formulation.Min_transfers, "OBJ-DMAT", all);
+       (1, Letdma.Formulation.Min_delay_ratio, "OBJ-DEL", all);
+       (2, Letdma.Formulation.No_obj, "NO-OBJ", cheap);
+       (2, Letdma.Formulation.Min_transfers, "OBJ-DMAT", cheap);
+     ]);
+  emit "lp" (Json.List (List.rev !lp_rows));
+  (* 2. Full branch-and-bound under each rule on small random instances
+     the cold solver finishes: rule choice vs whole-search work. *)
+  let milp_rows = ref [] in
+  let config =
+    {
+      Workload.Generator.default_config with
+      Workload.Generator.n_tasks = 4;
+      n_edges = 2;
+      max_labels_per_edge = 2;
+    }
+  in
+  Fmt.pr "@.  branch-and-bound under each rule (cold, random instances):@.";
+  List.iter
+    (fun seed ->
+      let app = Workload.Generator.random ~seed ~config () in
+      let groups = Groups.compute app in
+      match Rt_analysis.Sensitivity.gammas app ~alpha:0.3 with
+      | None -> Fmt.pr "    seed %d: unschedulable@." seed
+      | Some s ->
+        let gamma = s.Rt_analysis.Sensitivity.gamma in
+        let inst =
+          Letdma.Formulation.make Letdma.Formulation.No_obj app groups ~gamma
+        in
+        List.iter
+          (fun (rname, rule) ->
+            let t0 = Unix.gettimeofday () in
+            let bb =
+              Milp.Branch_bound.solve ~pricing:rule
+                ~deadline:(Milp.Clock.now () +. time_limit)
+                inst.Letdma.Formulation.problem
+            in
+            let dt = Unix.gettimeofday () -. t0 in
+            let st = bb.Milp.Branch_bound.stats in
+            let lp = st.Milp.Branch_bound.lp in
+            Fmt.pr
+              "    seed %3d %-8s: %-9s %5d nodes  %7d pivots  %7.3fs@."
+              seed rname
+              (status_name bb.Milp.Branch_bound.status)
+              st.Milp.Branch_bound.nodes lp.Milp.Branch_bound.lp_pivots dt;
+            milp_rows :=
+              Json.Obj
+                [
+                  ("instance", Json.Str (Fmt.str "random-%d" seed));
+                  ("rule", Json.Str rname);
+                  ( "status",
+                    Json.Str (status_name bb.Milp.Branch_bound.status) );
+                  ("nodes", Json.Int st.Milp.Branch_bound.nodes);
+                  ("pivots", Json.Int lp.Milp.Branch_bound.lp_pivots);
+                  ( "dual_pivots",
+                    Json.Int lp.Milp.Branch_bound.lp_dual_pivots );
+                  ("time_s", Json.Num dt);
+                ]
+              :: !milp_rows)
+          rules)
+    [ 1; 7; 42 ];
+  emit "milp" (Json.List (List.rev !milp_rows));
+  (* 3. Presolve on/off, end to end through the lazy-C6 driver: the
+     default must not be slower than opting out. *)
+  let pre_rows = ref [] in
+  Fmt.pr "@.  presolve on/off, end to end (cold NO-OBJ solves):@.";
+  let run_presolve iname solve_it =
+    List.iter
+      (fun presolve ->
+        let r : Letdma.Solve.result = solve_it ~presolve in
+        let st = r.Letdma.Solve.stats in
+        let lp = st.Letdma.Solve.lp in
+        Fmt.pr
+          "    %-12s presolve=%-5b: %-15s %5d nodes  %7.3fs  \
+           (rows dropped %d, bounds tightened %d)@."
+          iname presolve
+          (status_name st.Letdma.Solve.status)
+          st.Letdma.Solve.nodes st.Letdma.Solve.time_s
+          lp.Milp.Branch_bound.presolve_rows_dropped
+          lp.Milp.Branch_bound.presolve_bounds_tightened;
+        pre_rows :=
+          Json.Obj
+            [
+              ("instance", Json.Str iname);
+              ("presolve", Json.Bool presolve);
+              ("status", Json.Str (status_name st.Letdma.Solve.status));
+              ("nodes", Json.Int st.Letdma.Solve.nodes);
+              ( "rows_dropped",
+                Json.Int lp.Milp.Branch_bound.presolve_rows_dropped );
+              ( "bounds_tightened",
+                Json.Int lp.Milp.Branch_bound.presolve_bounds_tightened );
+              ("time_s", Json.Num st.Letdma.Solve.time_s);
+            ]
+          :: !pre_rows)
+      [ true; false ]
+  in
+  List.iter
+    (fun seed ->
+      let app = Workload.Generator.random ~seed ~config () in
+      let groups = Groups.compute app in
+      match Rt_analysis.Sensitivity.gammas app ~alpha:0.3 with
+      | None -> Fmt.pr "    seed %d: unschedulable@." seed
+      | Some s ->
+        let gamma = s.Rt_analysis.Sensitivity.gamma in
+        run_presolve
+          (Fmt.str "random-%d" seed)
+          (fun ~presolve ->
+            Letdma.Solve.solve ~presolve ~time_limit_s:time_limit
+              Letdma.Formulation.No_obj app groups ~gamma))
+    [ 1; 7; 42 ];
+  (let app = Workload.Waters2019.make () in
+   let groups = Groups.compute app in
+   match Rt_analysis.Sensitivity.gammas app ~alpha:0.2 with
+   | None -> Fmt.pr "    waters-x1: unschedulable@."
+   | Some s ->
+     let gamma = s.Rt_analysis.Sensitivity.gamma in
+     run_presolve "waters-x1"
+       (fun ~presolve ->
+         Letdma.Solve.solve ~presolve ~time_limit_s:time_limit
+           Letdma.Formulation.No_obj app groups ~gamma));
+  emit "presolve" (Json.List (List.rev !pre_rows))
+
+(* ------------------------------------------------------------------ *)
 (* ROBUSTNESS: certifier overhead + fault-injection sweep              *)
 (* ------------------------------------------------------------------ *)
 
@@ -530,6 +838,7 @@ let micro app =
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:None () in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -538,6 +847,7 @@ let micro app =
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
           | Some [ est ] ->
+            estimates := (name, Json.Num est) :: !estimates;
             let t, unit_ =
               if est > 1.0e9 then (est /. 1.0e9, "s")
               else if est > 1.0e6 then (est /. 1.0e6, "ms")
@@ -547,7 +857,8 @@ let micro app =
             Fmt.pr "  %-45s %10.2f %s/run@." name t unit_
           | _ -> Fmt.pr "  %-45s (no estimate)@." name)
         stats)
-    tests
+    tests;
+  emit "estimates_ns" (Json.Obj (List.rev !estimates))
 
 let () =
   let log_mutex = Mutex.create () in
@@ -557,29 +868,43 @@ let () =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some Logs.Warning);
   let smoke = Array.exists (String.equal "--smoke") Sys.argv in
+  (json_prefix :=
+     let n = Array.length Sys.argv in
+     let rec find i =
+       if i >= n then None
+       else if String.equal Sys.argv.(i) "--json" && i + 1 < n then
+         Some Sys.argv.(i + 1)
+       else find (i + 1)
+     in
+     find 1);
   let app = Workload.Waters2019.make () in
-  if Array.exists (String.equal "--parallel") Sys.argv then begin
-    parallel_section ~smoke:false app;
+  if Array.exists (String.equal "--pricing") Sys.argv then begin
+    run_section "PRICING" pricing_section;
+    Fmt.pr "@.bench: pricing section completed@."
+  end
+  else if Array.exists (String.equal "--parallel") Sys.argv then begin
+    run_section "PARALLEL" (fun () -> parallel_section ~smoke:false app);
     Fmt.pr "@.bench: parallel section completed@."
   end
   else if smoke then begin
-    fig1 ();
-    parallel_section ~smoke:true app;
+    run_section "FIG1" fig1;
+    run_section "PARALLEL" (fun () -> parallel_section ~smoke:true app);
     Fmt.pr "@.bench: smoke sections completed@."
   end
   else begin
-    fig1 ();
-    fig2_and_table1 app;
-    alpha app;
-    ablation_c6 ();
-    ablation_heuristic ();
-    ablation_engine app;
-    ablation_p3 app;
-    extension_multi_dma app;
-    extension_automotive ();
-    scaling ();
-    parallel_section ~smoke:false app;
-    robustness app;
-    micro app;
+    run_section "FIG1" fig1;
+    run_section "FIG2_TABLE1" (fun () -> fig2_and_table1 app);
+    run_section "ALPHA" (fun () -> alpha app);
+    run_section "ABLATION_C6" ablation_c6;
+    run_section "ABLATION_HEUR" ablation_heuristic;
+    run_section "ABLATION_ENGINE" (fun () -> ablation_engine app);
+    run_section "ABLATION_P3" (fun () -> ablation_p3 app);
+    run_section "EXT_MULTIDMA" (fun () -> extension_multi_dma app);
+    run_section "EXT_AUTOMOTIVE" extension_automotive;
+    run_section "SCALING" scaling;
+    run_section "PRICING" pricing_section;
+    run_section "PARALLEL" (fun () -> parallel_section ~smoke:false app);
+    run_section "ROBUSTNESS" (fun () -> robustness app);
+    run_section "MICRO" (fun () -> micro app);
     Fmt.pr "@.bench: all sections completed@."
   end

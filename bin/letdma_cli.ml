@@ -293,15 +293,34 @@ let heuristic_t =
     value & flag
     & info [ "heuristic" ] ~doc:"Use the greedy heuristic instead of the MILP.")
 
+let no_presolve_t =
+  Arg.(
+    value & flag
+    & info [ "no-presolve" ]
+        ~doc:
+          "Disable the MILP root presolve (bound tightening + redundant-row \
+           elimination), which is on by default.")
+
+let stats_t =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print solver statistics (branch-and-bound nodes, simplex pivots, \
+           pricing counters, presolve reductions, LP time).")
+
 let solve_cmd =
-  let run verbose time_limit labels_per_edge objective alpha heuristic jobs =
+  let run verbose time_limit labels_per_edge objective alpha heuristic jobs
+      no_presolve stats =
     guard @@ fun () ->
     setup_logs verbose;
     check_jobs jobs @@ fun () ->
     let app = waters ~labels_per_edge in
     let solver =
       if heuristic then Letdma.Experiment.Heuristic
-      else Letdma.Experiment.milp ~time_limit_s:time_limit ~jobs objective
+      else
+        Letdma.Experiment.milp ~time_limit_s:time_limit ~jobs
+          ~presolve:(not no_presolve) objective
     in
     match Letdma.Experiment.run_config ~solver app ~alpha with
     | Error e ->
@@ -313,6 +332,10 @@ let solve_cmd =
         r.Letdma.Experiment.solution
         (fun ppf -> Letdma.Report.fig2_subplot ppf app)
         r;
+      if stats then
+        (match r.Letdma.Experiment.solve_stats with
+         | Some s -> Fmt.pr "@.solver stats: @[%a@]@." Letdma.Solve.pp_stats s
+         | None -> Fmt.pr "@.solver stats: none (heuristic solve)@.");
       0
   in
   Cmd.v
@@ -320,7 +343,7 @@ let solve_cmd =
        ~doc:"Solve one configuration and report the resulting plan/latencies.")
     Term.(
       const run $ verbose_t $ time_limit_t $ labels_per_edge_t $ objective_t
-      $ alpha_t $ heuristic_t $ jobs_t)
+      $ alpha_t $ heuristic_t $ jobs_t $ no_presolve_t $ stats_t)
 
 (* --- pipeline --------------------------------------------------------- *)
 

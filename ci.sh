@@ -19,6 +19,16 @@ dune runtest
 echo "== bench smoke (parallel paths) =="
 dune build bench/main.exe
 OCAMLRUNPARAM="s=8M${OCAMLRUNPARAM:+,$OCAMLRUNPARAM}" \
-  timeout 300 ./_build/default/bench/main.exe --smoke
+  timeout 300 ./_build/default/bench/main.exe --smoke --json BENCH
+
+echo "== perf smoke guard (FIG1 wall clock) =="
+# The smoke writes machine-readable per-section timings (BENCH_FIG1.json,
+# BENCH_PARALLEL.json). Guard against gross LP hot-path regressions: the
+# FIG1 smoke solves in well under a second on the CI container, so a 60 s
+# ceiling only trips on gross slowdowns, never on machine jitter.
+fig1_time=$(sed -n 's/.*"time_s": *\([0-9.eE+-]*\).*/\1/p' BENCH_FIG1.json)
+echo "FIG1 smoke time: ${fig1_time}s (ceiling 60s)"
+awk -v t="$fig1_time" 'BEGIN { exit !(t > 0 && t < 60.0) }' || {
+  echo "FAIL: FIG1 smoke took ${fig1_time}s (ceiling 60s)"; exit 1; }
 
 echo "== ci.sh: all green =="

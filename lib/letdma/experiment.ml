@@ -15,12 +15,15 @@ type solver =
       node_limit : int;
       warm_start : bool;
       jobs : int; (* portfolio width of each solve; 1 = sequential *)
+      presolve : bool; (* MILP root presolve (default on) *)
     }
   | Heuristic
 
 let milp ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
-    ?(node_limit = 200_000) ?(warm_start = true) ?(jobs = 1) objective =
-  Milp { objective; options; time_limit_s; node_limit; warm_start; jobs }
+    ?(node_limit = 200_000) ?(warm_start = true) ?(jobs = 1)
+    ?(presolve = true) objective =
+  Milp
+    { objective; options; time_limit_s; node_limit; warm_start; jobs; presolve }
 
 let solver_name = function
   | Milp { objective; _ } -> Formulation.objective_name objective
@@ -100,8 +103,9 @@ let run_config ?(cpu_model = Sim.Parallel_phases) ?(solver = Heuristic)
               sol
           in
           (sol, None, cert)
-        | Milp { objective; options; time_limit_s; node_limit; warm_start; jobs }
-          ->
+        | Milp
+            { objective; options; time_limit_s; node_limit; warm_start; jobs;
+              presolve } ->
           let warm =
             if warm_start then
               (* warm-start with the heuristic variant matching the
@@ -118,7 +122,7 @@ let run_config ?(cpu_model = Sim.Parallel_phases) ?(solver = Heuristic)
           in
           let r =
             Solve.solve ~options ~time_limit_s ?deadline_s ~node_limit ~jobs
-              ?warm objective app groups ~gamma
+              ~presolve ?warm objective app groups ~gamma
           in
           (r.Solve.solution, Some r.Solve.stats, r.Solve.certificate)
       in

@@ -104,6 +104,7 @@ type milp_solver =
   deadline_s:float ->
   engine:Solve.engine ->
   jobs:int ->
+  presolve:bool ->
   cancel:Parallel.Pool.Token.t option ->
   warm:Solution.t option ->
   options:Formulation.options ->
@@ -113,10 +114,10 @@ type milp_solver =
   gamma:Time.t array ->
   Solve.result
 
-let default_milp_solve ~deadline_s ~engine ~jobs ~cancel ~warm ~options
-    objective app groups ~gamma =
-  Solve.solve ~options ~deadline_s ~engine ~jobs ?cancel ?warm objective app
-    groups ~gamma
+let default_milp_solve ~deadline_s ~engine ~jobs ~presolve ~cancel ~warm
+    ~options objective app groups ~gamma =
+  Solve.solve ~options ~deadline_s ~engine ~jobs ~presolve ?cancel ?warm
+    objective app groups ~gamma
 
 (* Perturbed retry: tighten every gamma by 0.1% — a solution meeting the
    tightened bound meets the original a fortiori, while the shifted
@@ -146,7 +147,8 @@ let violations_summary app vs =
 
 let run ?(milp_solve = default_milp_solve) ?(objective = Formulation.No_obj)
     ?(options = Formulation.default_options) ?(engine = Solve.Best_first)
-    ?(warm_start = true) ?(budget_s = 60.0) ?(alpha = 0.2) ?(jobs = 1) app =
+    ?(warm_start = true) ?(budget_s = 60.0) ?(alpha = 0.2) ?(jobs = 1)
+    ?(presolve = true) app =
   let t0 = Milp.Clock.now () in
   let deadline = t0 +. budget_s in
   match validate_app app with
@@ -190,8 +192,8 @@ let run ?(milp_solve = default_milp_solve) ?(objective = Formulation.No_obj)
         let try_milp rung ~engine ~jobs ~cancel ~gamma_solve ~warm =
           let ta = Milp.Clock.now () in
           let r =
-            milp_solve ~deadline_s:deadline ~engine ~jobs ~cancel ~warm
-              ~options objective app groups ~gamma:gamma_solve
+            milp_solve ~deadline_s:deadline ~engine ~jobs ~presolve ~cancel
+              ~warm ~options objective app groups ~gamma:gamma_solve
           in
           let dt = Milp.Clock.now () -. ta in
           match r.Solve.solution with

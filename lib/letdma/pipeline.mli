@@ -62,6 +62,7 @@ type milp_solver =
   deadline_s:float ->
   engine:Solve.engine ->
   jobs:int ->
+  presolve:bool ->
   cancel:Parallel.Pool.Token.t option ->
   warm:Solution.t option ->
   options:Formulation.options ->
@@ -80,7 +81,12 @@ type milp_solver =
     primary and perturbed MILP rungs race concurrently on two domains
     (the perturbed branch is cancelled once the primary's solution
     certifies), and each branch runs its own portfolio over half the
-    jobs ({!Solve.solve}'s [jobs]). *)
+    jobs ({!Solve.solve}'s [jobs]).
+
+    [presolve] (default [true]) is handed to every MILP rung: root
+    presolve reduces the model before branch-and-bound. The reduction is
+    keyed so solver trajectories match the unpresolved model exactly;
+    [presolve:false] opts out for debugging or measurement. *)
 val run :
   ?milp_solve:milp_solver ->
   ?objective:Formulation.objective ->
@@ -90,5 +96,6 @@ val run :
   ?budget_s:float ->
   ?alpha:float ->
   ?jobs:int ->
+  ?presolve:bool ->
   App.t ->
   (outcome, failure) result

@@ -21,6 +21,8 @@ type stats = {
   gap : float option;
   milp_vars : int;
   milp_constraints : int;
+  lp : Milp.Branch_bound.lp_stats;
+      (* LP-kernel work + presolve reductions, summed over all rounds *)
 }
 
 type result = {
@@ -47,10 +49,11 @@ type engine = Dfs | Best_first
    includes both engines, so [engine] only selects the sequential one).
    [cancel] lets an outer racer — the pipeline running primary and
    perturbed models concurrently — abort the round between nodes. *)
-let bb_solve ~jobs ~cancel engine =
+let bb_solve ~jobs ~cancel ~presolve engine =
   if jobs > 1 then fun ~deadline ~node_limit ?incumbent p ->
     let r =
-      Parallel.Portfolio.solve ~jobs ?cancel ~deadline ~node_limit ?incumbent p
+      Parallel.Portfolio.solve ~jobs ?cancel ~deadline ~node_limit ?incumbent
+        ~presolve p
     in
     r.Parallel.Portfolio.solution
   else
@@ -65,9 +68,10 @@ let bb_solve ~jobs ~cancel engine =
     in
     match engine with
     | Dfs -> fun ~deadline ~node_limit ?incumbent p ->
-        Milp.Dfs_solver.solve ~deadline ~node_limit ?incumbent ~hooks p
+        Milp.Dfs_solver.solve ~deadline ~node_limit ?incumbent ~hooks ~presolve p
     | Best_first -> fun ~deadline ~node_limit ?incumbent p ->
-        Milp.Branch_bound.solve ~deadline ~node_limit ?incumbent ~hooks p
+        Milp.Branch_bound.solve ~deadline ~node_limit ?incumbent ~hooks
+          ~presolve p
 
 (* (pattern, class) blocks whose projected transfers break contiguity. *)
 let find_violations inst (sol : Solution.t) =
@@ -94,7 +98,7 @@ let find_violations inst (sol : Solution.t) =
 
 let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
     ?deadline_s ?(node_limit = 200_000) ?(max_rounds = 50) ?(engine = Best_first)
-    ?(jobs = 1) ?cancel ?warm objective app groups ~gamma =
+    ?(jobs = 1) ?cancel ?(presolve = true) ?warm objective app groups ~gamma =
   let t0 = Milp.Clock.now () in
   (* One absolute monotonic deadline shared by every lazy round (and, via
      [deadline_s], by every rung of a degradation ladder): k rounds can
@@ -125,16 +129,20 @@ let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
   in
   let c6_total = ref 0 in
   let nodes_total = ref 0 in
+  let lp_total = ref Milp.Branch_bound.lp_zero in
   let rec loop round =
     let remaining = Milp.Clock.remaining ~deadline in
     if remaining <= 0.5 || round > max_rounds then
       (None, Milp.Branch_bound.Unknown, None, round - 1)
     else begin
       let bb =
-        bb_solve ~jobs ~cancel engine ~deadline ~node_limit
+        bb_solve ~jobs ~cancel ~presolve engine ~deadline ~node_limit
           ?incumbent:(encode_warm ()) inst.Formulation.problem
       in
       nodes_total := !nodes_total + bb.Milp.Branch_bound.stats.Milp.Branch_bound.nodes;
+      lp_total :=
+        Milp.Branch_bound.lp_add !lp_total
+          bb.Milp.Branch_bound.stats.Milp.Branch_bound.lp;
       match bb.Milp.Branch_bound.x with
       | None -> (None, bb.Milp.Branch_bound.status, bb.Milp.Branch_bound.stats.Milp.Branch_bound.gap, round)
       | Some x ->
@@ -207,12 +215,17 @@ let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
         gap;
         milp_vars = Milp.Problem.num_vars inst.Formulation.problem;
         milp_constraints = Milp.Problem.num_constrs inst.Formulation.problem;
+        lp = !lp_total;
       };
     instance = inst;
   }
 
 let pp_stats ppf s =
-  Fmt.pf ppf "status=%s time=%.2fs rounds=%d nodes=%d c6=%d model=%dx%d%a"
+  let lp = s.lp in
+  Fmt.pf ppf
+    "status=%s time=%.2fs rounds=%d nodes=%d c6=%d model=%dx%d%a@ \
+     lp: pivots=%d dual-pivots=%d priced=%d refreshes=%d lp-time=%.2fs \
+     presolve: rounds=%d rows-dropped=%d bounds-tightened=%d"
     (match s.status with
      | Milp.Branch_bound.Optimal -> "optimal"
      | Milp.Branch_bound.Feasible -> "feasible(limit)"
@@ -221,4 +234,9 @@ let pp_stats ppf s =
      | Milp.Branch_bound.Unknown -> "unknown")
     s.time_s s.rounds s.nodes s.c6_constraints s.milp_vars s.milp_constraints
     Fmt.(option (fun ppf g -> pf ppf " gap=%.1f%%" (100.0 *. g)))
-    s.gap
+    s.gap lp.Milp.Branch_bound.lp_pivots lp.Milp.Branch_bound.lp_dual_pivots
+    lp.Milp.Branch_bound.lp_pricing_scanned
+    lp.Milp.Branch_bound.lp_pricing_refreshes lp.Milp.Branch_bound.lp_time_s
+    lp.Milp.Branch_bound.presolve_rounds
+    lp.Milp.Branch_bound.presolve_rows_dropped
+    lp.Milp.Branch_bound.presolve_bounds_tightened

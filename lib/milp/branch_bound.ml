@@ -12,6 +12,60 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type status = Optimal | Feasible | Infeasible | Unbounded | Unknown
 
+(* LP-engine work counters aggregated over a whole search, plus the root
+   presolve reductions. *)
+type lp_stats = {
+  lp_pivots : int;
+  lp_dual_pivots : int;
+  lp_pricing_scanned : int;
+  lp_pricing_refreshes : int;
+  lp_time_s : float;
+  presolve_rounds : int;
+  presolve_rows_dropped : int;
+  presolve_bounds_tightened : int;
+}
+
+let lp_zero =
+  {
+    lp_pivots = 0;
+    lp_dual_pivots = 0;
+    lp_pricing_scanned = 0;
+    lp_pricing_refreshes = 0;
+    lp_time_s = 0.0;
+    presolve_rounds = 0;
+    presolve_rows_dropped = 0;
+    presolve_bounds_tightened = 0;
+  }
+
+let lp_add a b =
+  {
+    lp_pivots = a.lp_pivots + b.lp_pivots;
+    lp_dual_pivots = a.lp_dual_pivots + b.lp_dual_pivots;
+    lp_pricing_scanned = a.lp_pricing_scanned + b.lp_pricing_scanned;
+    lp_pricing_refreshes = a.lp_pricing_refreshes + b.lp_pricing_refreshes;
+    lp_time_s = a.lp_time_s +. b.lp_time_s;
+    presolve_rounds = a.presolve_rounds + b.presolve_rounds;
+    presolve_rows_dropped = a.presolve_rows_dropped + b.presolve_rows_dropped;
+    presolve_bounds_tightened =
+      a.presolve_bounds_tightened + b.presolve_bounds_tightened;
+  }
+
+let lp_of_counters (c : Simplex_core.counters) ~lp_time_s
+    ~(presolve : Presolve.stats) =
+  {
+    lp_pivots = c.Simplex_core.pivots;
+    lp_dual_pivots = c.Simplex_core.dual_pivots;
+    lp_pricing_scanned = c.Simplex_core.pricing_scanned;
+    lp_pricing_refreshes = c.Simplex_core.pricing_refreshes;
+    lp_time_s;
+    presolve_rounds = presolve.Presolve.rounds;
+    presolve_rows_dropped = presolve.Presolve.rows_dropped;
+    presolve_bounds_tightened = presolve.Presolve.bounds_tightened;
+  }
+
+let no_presolve_stats =
+  { Presolve.rounds = 0; rows_dropped = 0; bounds_tightened = 0 }
+
 type stats = {
   nodes : int;
   simplex_solves : int;
@@ -20,6 +74,7 @@ type stats = {
   gap : float option;  (** relative gap between incumbent and bound *)
   foreign_prunes : int;
       (** prune events whose cutoff came from an imported incumbent *)
+  lp : lp_stats;  (** LP-engine work + root presolve reductions *)
 }
 
 (* Cooperation hooks for portfolio/parallel drivers. All callbacks run on
@@ -152,18 +207,67 @@ let feasibility_shortcut (p : Problem.t) incumbent =
             best_bound = c;
             gap = Some 0.0;
             foreign_prunes = 0;
+            lp = lp_zero;
           };
       }
   | Some _ | None -> None
 
+(* [Infeasible] result proven by presolve alone (no search ran). *)
+let presolved_infeasible ~sense ~time_s ~(pre : Presolve.stats) row =
+  Log.info (fun f -> f "presolve proved infeasibility (row %s)" row);
+  {
+    status = Infeasible;
+    obj = None;
+    x = None;
+    stats =
+      {
+        nodes = 0;
+        simplex_solves = 0;
+        time_s;
+        best_bound = (if sense > 0.0 then infinity else neg_infinity);
+        gap = None;
+        foreign_prunes = 0;
+        lp =
+          lp_of_counters (Simplex_core.fresh_counters ()) ~lp_time_s:0.0
+            ~presolve:pre;
+      };
+  }
+
 let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
     ?(int_eps = 1.0e-6) ?incumbent ?(branch_seed = 0) ?(hooks = no_hooks)
-    ?(log_every = 0) (p : Problem.t) : solution =
-  match feasibility_shortcut p incumbent with
+    ?(log_every = 0) ?(pricing = Simplex_core.Devex) ?(presolve = true)
+    (p0 : Problem.t) : solution =
+  match feasibility_shortcut p0 incumbent with
   | Some early -> early
   | None ->
   let t0 = Clock.now () in
   let deadline = match deadline with Some d -> d | None -> t0 +. time_limit_s in
+  (* Root presolve: the reduction keeps every variable (same ids, implied
+     tighter bounds) and only drops redundant rows, so the feasible set —
+     and hence the entire search — transfers verbatim to the reduced
+     problem; solutions need no mapping back. *)
+  let presolve_outcome =
+    if presolve then begin
+      let r, pre = Presolve.run p0 in
+      if pre.Presolve.rounds > 0 then
+        Log.info (fun f ->
+            f "presolve: %d rounds, %d rows dropped, %d bounds tightened"
+              pre.Presolve.rounds pre.Presolve.rows_dropped
+              pre.Presolve.bounds_tightened);
+      (r, pre)
+    end
+    else (Presolve.Reduced p0, no_presolve_stats)
+  in
+  let dir0, _ = Problem.objective p0 in
+  let sense0 =
+    match dir0 with Problem.Minimize -> 1.0 | Problem.Maximize -> -1.0
+  in
+  match presolve_outcome with
+  | Presolve.Infeasible row, pre ->
+    presolved_infeasible ~sense:sense0 ~time_s:(Clock.now () -. t0) ~pre row
+  | Presolve.Reduced p, pre ->
+  let cnt = Simplex_core.fresh_counters () in
+  let lp_time = ref 0.0 in
   let n = Problem.num_vars p in
   let dir, obj_expr = Problem.objective p in
   (* Work in minimization sense internally. *)
@@ -263,7 +367,12 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
             hi.(j) <- Float.min hi.(j) h)
           node.overrides;
         incr simplex_solves;
-        (match Simplex.solve ~deadline ~bounds:(lo, hi) p with
+        let lp_t0 = Clock.now () in
+        let lp_result =
+          Simplex.solve ~pricing ~counters:cnt ~deadline ~bounds:(lo, hi) p
+        in
+        lp_time := !lp_time +. (Clock.now () -. lp_t0);
+        (match lp_result with
          | Simplex.Infeasible ->
            if node.depth = 0 then root_infeasible := true
          | Simplex.Unbounded ->
@@ -369,5 +478,6 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
         best_bound = sense *. best_bound_min;
         gap;
         foreign_prunes = !foreign_prunes;
+        lp = lp_of_counters cnt ~lp_time_s:!lp_time ~presolve:pre;
       };
   }

@@ -18,6 +18,34 @@ type status =
   | Unbounded
   | Unknown     (** limit hit before any incumbent was found *)
 
+(** LP-engine work counters aggregated over the whole search, plus the
+    root presolve reductions: the machine-readable account of where the
+    solve time went. *)
+type lp_stats = {
+  lp_pivots : int;             (** primal simplex pivots (phases I+II) *)
+  lp_dual_pivots : int;        (** dual-simplex warm-restart pivots *)
+  lp_pricing_scanned : int;    (** candidate columns priced *)
+  lp_pricing_refreshes : int;  (** pricing candidate-list rebuild scans *)
+  lp_time_s : float;           (** wall-clock spent inside the LP kernel *)
+  presolve_rounds : int;
+  presolve_rows_dropped : int;
+  presolve_bounds_tightened : int;
+}
+
+val lp_zero : lp_stats
+val lp_add : lp_stats -> lp_stats -> lp_stats
+
+(** Package raw kernel counters (plus LP wall-clock and presolve
+    reductions) as an [lp_stats]. Shared with {!Dfs_solver}. *)
+val lp_of_counters :
+  Simplex_core.counters ->
+  lp_time_s:float ->
+  presolve:Presolve.stats ->
+  lp_stats
+
+(** The all-zero {!Presolve.stats} reported when presolve is disabled. *)
+val no_presolve_stats : Presolve.stats
+
 type stats = {
   nodes : int;
   simplex_solves : int;
@@ -28,6 +56,7 @@ type stats = {
       (** subtrees pruned against a cutoff that was imported through
           {!hooks}[.get_incumbent] rather than found locally — the direct
           evidence that shared-incumbent exchange did useful work *)
+  lp : lp_stats;
 }
 
 type solution = {
@@ -81,7 +110,14 @@ val feasibility_shortcut : Problem.t -> float array option -> solution option
       branching order; 0 reproduces the classic most-fractional rule
       bit-for-bit.
     - [int_eps] (default 1e-6): integrality tolerance.
-    - [log_every]: if positive, log progress every that many nodes. *)
+    - [log_every]: if positive, log progress every that many nodes.
+    - [pricing] (default [Devex]): entering-variable rule for every
+      node's LP solve (see {!Simplex.pricing}).
+    - [presolve] (default [true]): run {!Presolve.run} once at the root
+      and search the reduced problem. The reduction keeps every variable
+      (same ids) and only tightens implied bounds / drops redundant
+      rows, so the feasible set is unchanged and solutions need no
+      mapping back; reductions are reported in [stats.lp]. *)
 val solve :
   ?time_limit_s:float ->
   ?deadline:float ->
@@ -91,5 +127,7 @@ val solve :
   ?branch_seed:int ->
   ?hooks:hooks ->
   ?log_every:int ->
+  ?pricing:Simplex_core.pricing ->
+  ?presolve:bool ->
   Problem.t ->
   solution

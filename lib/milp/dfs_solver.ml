@@ -31,6 +31,9 @@ type state = {
   int_eps : float;
   branch_seed : int;
   hooks : Branch_bound.hooks;
+  pricing : Simplex_core.pricing;
+  cnt : Simplex_core.counters;
+  mutable lp_time : float; (* wall-clock inside the LP kernel *)
   mutable nodes : int;
   mutable rebuilds : int;
   mutable best_obj : float; (* minimization sense *)
@@ -58,23 +61,38 @@ let lp_iter_budget = 200_000
    numerical trouble). Returns false when the node is infeasible. *)
 let rebuild st =
   st.rebuilds <- st.rebuilds + 1;
-  match Simplex_core.build ~bounds:(st.cur_lo, st.cur_hi) st.p with
-  | None -> false
-  | Some tb ->
-    (match Simplex_core.phase1 tb ~max_iters:lp_iter_budget ~deadline:st.deadline with
-     | `Infeasible -> false
-     | `Limit -> raise Limit_reached
-     | `Feasible ->
-       Simplex_core.install_objective tb;
-       (match Simplex_core.phase2 tb ~max_iters:lp_iter_budget ~deadline:st.deadline with
-        | `Optimal ->
-          st.tb <- tb;
-          true
-        | `Unbounded ->
-          (* bounded integers + incumbent pruning make this pathological;
-             treat as node to skip *)
-          false
-        | `Iteration_limit -> raise Limit_reached))
+  let t0 = Clock.now () in
+  let finish r =
+    st.lp_time <- st.lp_time +. (Clock.now () -. t0);
+    match r with `Ok b -> b | `Limit -> raise Limit_reached
+  in
+  finish
+    (match
+       Simplex_core.build ~pricing:st.pricing ~counters:st.cnt
+         ~bounds:(st.cur_lo, st.cur_hi) st.p
+     with
+     | None -> `Ok false
+     | Some tb ->
+       (match
+          Simplex_core.phase1 tb ~max_iters:lp_iter_budget
+            ~deadline:st.deadline
+        with
+        | `Infeasible -> `Ok false
+        | `Limit -> `Limit
+        | `Feasible ->
+          Simplex_core.install_objective tb;
+          (match
+             Simplex_core.phase2 tb ~max_iters:lp_iter_budget
+               ~deadline:st.deadline
+           with
+           | `Optimal ->
+             st.tb <- tb;
+             `Ok true
+           | `Unbounded ->
+             (* bounded integers + incumbent pruning make this
+                pathological; treat as node to skip *)
+             `Ok false
+           | `Iteration_limit -> `Limit)))
 
 let consider_incumbent st x =
   match Problem.check_solution ~eps:1.0e-6 st.p x with
@@ -106,9 +124,12 @@ let move_bounds st var ~lo ~hi =
     st.cur_hi.(var) <- hi;
     match Simplex_core.set_var_bounds st.tb var ~lo ~hi with
     | () ->
-      (match
-         Simplex_core.dual_restore st.tb ~max_iters:2_500 ~deadline:st.deadline
-       with
+      let t0 = Clock.now () in
+      let repair =
+        Simplex_core.dual_restore st.tb ~max_iters:2_500 ~deadline:st.deadline
+      in
+      st.lp_time <- st.lp_time +. (Clock.now () -. t0);
+      (match repair with
        | `Feasible -> true
        | `Infeasible ->
          (* numerical drift in a long dive chain can fabricate
@@ -241,21 +262,63 @@ let fallback_reason p =
 
 let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 2_000_000)
     ?(int_eps = 1.0e-6) ?incumbent ?(branch_seed = 0)
-    ?(hooks = Branch_bound.no_hooks) ?log_every (p : Problem.t) :
+    ?(hooks = Branch_bound.no_hooks) ?log_every
+    ?(pricing = Simplex_core.Devex) ?(presolve = true) (p0 : Problem.t) :
     Branch_bound.solution =
   ignore log_every;
-  match Branch_bound.feasibility_shortcut p incumbent with
+  match Branch_bound.feasibility_shortcut p0 incumbent with
   | Some early -> early
   | None ->
   let t0 = Clock.now () in
   let deadline =
     match deadline with Some d -> d | None -> t0 +. time_limit_s
   in
-  match fallback_reason p with
+  match fallback_reason p0 with
   | Some reason ->
     Log.warn (fun f -> f "dfs: falling back to best-first solver (%s)" reason);
-    Branch_bound.solve ~deadline ~int_eps ?incumbent ~branch_seed ~hooks p
+    Branch_bound.solve ~deadline ~int_eps ?incumbent ~branch_seed ~hooks
+      ~pricing ~presolve p0
   | None ->
+    (* Root presolve: same ids, implied-only tightening — the feasible set
+       is unchanged, so the whole dive runs on the reduced problem and
+       solutions transfer verbatim (see {!Branch_bound.solve}). *)
+    let presolve_outcome =
+      if presolve then begin
+        let r, pre = Presolve.run p0 in
+        if pre.Presolve.rounds > 0 then
+          Log.info (fun f ->
+              f "dfs presolve: %d rounds, %d rows dropped, %d bounds tightened"
+                pre.Presolve.rounds pre.Presolve.rows_dropped
+                pre.Presolve.bounds_tightened);
+        (r, pre)
+      end
+      else (Presolve.Reduced p0, Branch_bound.no_presolve_stats)
+    in
+    let dir0, _ = Problem.objective p0 in
+    let sense0 =
+      match dir0 with Problem.Minimize -> 1.0 | Problem.Maximize -> -1.0
+    in
+    match presolve_outcome with
+    | Presolve.Infeasible _row, pre ->
+      {
+        Branch_bound.status = Branch_bound.Infeasible;
+        obj = None;
+        x = None;
+        stats =
+          {
+            Branch_bound.nodes = 0;
+            simplex_solves = 0;
+            time_s = Clock.now () -. t0;
+            best_bound = (if sense0 > 0.0 then infinity else neg_infinity);
+            gap = None;
+            foreign_prunes = 0;
+            lp =
+              Branch_bound.lp_of_counters (Simplex_core.fresh_counters ())
+                ~lp_time_s:0.0 ~presolve:pre;
+          };
+      }
+    | Presolve.Reduced p, pre ->
+    let cnt = Simplex_core.fresh_counters () in
     let n = Problem.num_vars p in
     let dir, obj_expr = Problem.objective p in
     let sense = match dir with Problem.Minimize -> 1.0 | Problem.Maximize -> -1.0 in
@@ -275,7 +338,7 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 2_000_000)
         cur_lo.(j) <- lo;
         cur_hi.(j) <- hi)
       p;
-    (match Simplex_core.build p with
+    (match Simplex_core.build ~pricing ~counters:cnt p with
      | None ->
        {
          Branch_bound.status = Branch_bound.Infeasible;
@@ -289,6 +352,8 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 2_000_000)
              best_bound = (if sense > 0.0 then neg_infinity else infinity);
              gap = None;
              foreign_prunes = 0;
+             lp =
+               Branch_bound.lp_of_counters cnt ~lp_time_s:0.0 ~presolve:pre;
            };
        }
      | Some tb ->
@@ -306,6 +371,9 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 2_000_000)
            int_eps;
            branch_seed;
            hooks;
+           pricing;
+           cnt;
+           lp_time = 0.0;
            nodes = 0;
            rebuilds = 0;
            best_obj = infinity;
@@ -320,15 +388,20 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 2_000_000)
         | Some x when Array.length x = n -> ignore (consider_incumbent st x)
         | Some _ | None -> ());
        let root_status =
-         match Simplex_core.phase1 tb ~max_iters:lp_iter_budget ~deadline with
-         | `Infeasible -> `Root_infeasible
-         | `Limit -> `Limit
-         | `Feasible ->
-           Simplex_core.install_objective tb;
-           (match Simplex_core.phase2 tb ~max_iters:lp_iter_budget ~deadline with
-            | `Optimal -> `Ok
-            | `Unbounded -> `Root_unbounded
-            | `Iteration_limit -> `Limit)
+         let lp_t0 = Clock.now () in
+         let r =
+           match Simplex_core.phase1 tb ~max_iters:lp_iter_budget ~deadline with
+           | `Infeasible -> `Root_infeasible
+           | `Limit -> `Limit
+           | `Feasible ->
+             Simplex_core.install_objective tb;
+             (match Simplex_core.phase2 tb ~max_iters:lp_iter_budget ~deadline with
+              | `Optimal -> `Ok
+              | `Unbounded -> `Root_unbounded
+              | `Iteration_limit -> `Limit)
+         in
+         st.lp_time <- st.lp_time +. (Clock.now () -. lp_t0);
+         r
        in
        let root_bound =
          match root_status with
@@ -387,5 +460,8 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 2_000_000)
              best_bound = sense *. best_bound_min;
              gap;
              foreign_prunes = st.foreign_prunes;
+             lp =
+               Branch_bound.lp_of_counters st.cnt ~lp_time_s:st.lp_time
+                 ~presolve:pre;
            };
        })

@@ -15,7 +15,12 @@
     an absolute monotonic {!Clock.now} instant taking precedence over the
     relative [time_limit_s], and the same cooperation {!Branch_bound.hooks}
     / [branch_seed] diversification are honoured, so a portfolio can hand
-    both engines the same deadline and shared incumbent cell. *)
+    both engines the same deadline and shared incumbent cell.
+
+    [pricing] (default [Devex]) selects the entering-variable rule, and
+    [presolve] (default [true]) runs {!Presolve.run} once at the root
+    exactly as in {!Branch_bound.solve}; LP work counters and presolve
+    reductions are reported in [stats.lp]. *)
 
 val solve :
   ?time_limit_s:float ->
@@ -26,5 +31,7 @@ val solve :
   ?branch_seed:int ->
   ?hooks:Branch_bound.hooks ->
   ?log_every:int ->
+  ?pricing:Simplex_core.pricing ->
+  ?presolve:bool ->
   Problem.t ->
   Branch_bound.solution

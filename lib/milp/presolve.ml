@@ -163,8 +163,8 @@ let run ?(max_rounds = 10) (p : Problem.t) : result * stats =
         incr i;
         if keep.(idx) then
           ignore
-            (Problem.add_constr ~name:c.Problem.c_name q c.Problem.c_expr
-               c.Problem.c_sense c.Problem.c_rhs))
+            (Problem.add_constr ~name:c.Problem.c_name ~id:c.Problem.c_id q
+               c.Problem.c_expr c.Problem.c_sense c.Problem.c_rhs))
       p;
     let dir, obj = Problem.objective p in
     Problem.set_objective q dir obj;

@@ -15,6 +15,7 @@ type var_info = {
 
 type constr = {
   c_name : string;
+  c_id : int; (* stable origin id; survives presolve row elimination *)
   c_expr : Linexpr.t; (* constant part already folded into [c_rhs] *)
   c_sense : sense;
   c_rhs : float;
@@ -30,7 +31,7 @@ type t = {
 let dummy_var = { v_name = ""; v_kind = Continuous; v_lo = 0.0; v_hi = 0.0 }
 
 let dummy_constr =
-  { c_name = ""; c_expr = Linexpr.zero; c_sense = Le; c_rhs = 0.0 }
+  { c_name = ""; c_id = 0; c_expr = Linexpr.zero; c_sense = Le; c_rhs = 0.0 }
 
 let create ?(big_m = 1.0e6) () =
   {
@@ -92,14 +93,15 @@ let set_bounds ?lo ?hi t v =
   (match hi with Some h -> vi.v_hi <- h | None -> ());
   if vi.v_lo > vi.v_hi then invalid_arg "Problem.set_bounds: lo > hi"
 
-let add_constr ?name t expr sense rhs =
+let add_constr ?name ?id t expr sense rhs =
   let c_rhs = rhs -. Linexpr.constant expr in
   let c_expr = Linexpr.add_const expr (-.Linexpr.constant expr) in
   let idx = Vec.length t.constrs in
   let c_name =
     match name with Some n -> n | None -> Printf.sprintf "c%d" idx
   in
-  ignore (Vec.push t.constrs { c_name; c_expr; c_sense = sense; c_rhs });
+  let c_id = match id with Some i -> i | None -> idx in
+  ignore (Vec.push t.constrs { c_name; c_id; c_expr; c_sense = sense; c_rhs });
   idx
 
 let constr t i = Vec.get t.constrs i

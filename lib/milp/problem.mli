@@ -11,6 +11,11 @@ type dir = Minimize | Maximize
 
 type constr = private {
   c_name : string;
+  c_id : int;
+      (** stable origin id: the row's index in the model it was first added
+          to. Presolve copies it onto the reduced model's rows, so anything
+          keyed on it — notably the simplex anti-degeneracy perturbation —
+          is invariant under row elimination. *)
   c_expr : Linexpr.t;  (** constant part folded into [c_rhs] *)
   c_sense : sense;
   c_rhs : float;
@@ -44,10 +49,12 @@ val set_bounds : ?lo:float -> ?hi:float -> t -> int -> unit
     to [0, 1]. *)
 val set_kind : t -> int -> var_kind -> unit
 
-(** [add_constr ?name t e sense rhs] adds the constraint [e sense rhs]
+(** [add_constr ?name ?id t e sense rhs] adds the constraint [e sense rhs]
     (any constant term of [e] is moved to the right-hand side) and returns
-    its index. *)
-val add_constr : ?name:string -> t -> Linexpr.t -> sense -> float -> int
+    its index. [id] overrides the row's stable origin id ({!constr.c_id},
+    default: the new index) — used by presolve to keep reduced rows keyed
+    like the originals. *)
+val add_constr : ?name:string -> ?id:int -> t -> Linexpr.t -> sense -> float -> int
 
 val constr : t -> int -> constr
 val set_objective : t -> dir -> Linexpr.t -> unit

@@ -2,15 +2,19 @@
    {!Simplex_core}: build, Phase I, install the objective, Phase II,
    extract. See simplex_core.ml for the tableau mechanics. *)
 
+type pricing = Simplex_core.pricing = Dantzig | Devex | Bland
+
+let pricing_name = Simplex_core.pricing_name
+
 type result =
   | Optimal of { obj : float; x : float array }
   | Infeasible
   | Unbounded
   | Iteration_limit
 
-let solve ?bounds ?(max_iters = 200_000) ?(deadline = infinity)
-    (p : Problem.t) : result =
-  match Simplex_core.build ?bounds p with
+let solve ?pricing ?counters ?bounds ?(max_iters = 200_000)
+    ?(deadline = infinity) (p : Problem.t) : result =
+  match Simplex_core.build ?pricing ?counters ?bounds p with
   | None -> Infeasible
   | Some tb ->
     (match Simplex_core.phase1 tb ~max_iters ~deadline with

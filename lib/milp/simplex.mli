@@ -1,11 +1,23 @@
-(** Dense two-phase primal simplex for linear programs with bounded
-    variables.
+(** Two-phase primal simplex for linear programs with bounded variables.
 
     Integrality requirements of the {!Problem} are ignored (this is the LP
     relaxation solver used by {!Branch_bound}). Nonbasic variables may rest
     at either bound, so binary-heavy models need no extra rows for their
     upper bounds. Bland's rule is enabled automatically after a stall to
-    guarantee termination on degenerate instances. *)
+    guarantee termination on degenerate instances.
+
+    Pivot eliminations run over per-row nonzero supports, and the entering
+    variable is chosen by a configurable pricing rule (devex partial
+    pricing by default); see {!Simplex_core} for the kernel details. *)
+
+(** Entering-variable pricing rule. [Devex] (the default) prices a bounded
+    candidate list against reference weights; [Dantzig] is the classic
+    most-negative-reduced-cost full scan; [Bland] is the smallest-index
+    full scan. All three share the automatic Bland anti-cycling fallback,
+    and all reach an optimal basis — only the pivot trajectory differs. *)
+type pricing = Simplex_core.pricing = Dantzig | Devex | Bland
+
+val pricing_name : pricing -> string
 
 type result =
   | Optimal of { obj : float; x : float array }
@@ -13,14 +25,20 @@ type result =
   | Unbounded
   | Iteration_limit
 
-(** [solve ?bounds ?max_iters p] solves the LP relaxation of [p].
+(** [solve ?pricing ?counters ?bounds ?max_iters p] solves the LP
+    relaxation of [p].
 
+    [pricing] selects the entering-variable rule (default [Devex]).
+    [counters] accumulates work statistics (pivots, pricing scans, ...)
+    into a caller-supplied {!Simplex_core.counters} record.
     [bounds] optionally overrides every variable's bounds (two arrays of
     length [Problem.num_vars p]) — used by branch-and-bound nodes.
     [max_iters] caps total simplex pivots across both phases (default
     200_000); [deadline] is an absolute monotonic {!Clock.now} instant
     after which the solve aborts with [Iteration_limit]. *)
 val solve :
+  ?pricing:pricing ->
+  ?counters:Simplex_core.counters ->
   ?bounds:float array * float array ->
   ?max_iters:int ->
   ?deadline:float ->

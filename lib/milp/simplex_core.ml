@@ -7,6 +7,18 @@
    (unchanged) reduced costs keep the basis dual feasible — the standard
    warm-start mechanism of branch-and-bound diving.
 
+   Hot-path engineering (measured in the PRICING bench section):
+   - every tableau row carries its nonzero support (a superset compacted
+     whenever the row pivots), so Gaussian eliminations, reduced-cost
+     updates and the dual entering scan skip structurally-zero entries;
+   - the primal entering choice is devex reference-weight pricing over a
+     bounded candidate list refreshed by a rotating partial scan, with
+     classic Dantzig and Bland selectable per solve ({!pricing});
+     optimality is only ever declared after a full refresh scan comes up
+     empty, so partial pricing never weakens the optimality claim;
+   - [row_of_col] inverts the basis so {!col_value} and bound moves on
+     basic columns are O(1) instead of an O(m) basis scan.
+
    Conventions: every structural column has lower bound 0 after a per-
    variable shift; nonbasic columns rest at a bound; [beta] holds the
    basic values. See {!Simplex} for the one-shot API. *)
@@ -16,6 +28,36 @@ let src = Logs.Src.create "milp.simplex" ~doc:"LP simplex solver"
 module Log = (val Logs.src_log src : Logs.LOG)
 
 type status = At_lower | At_upper | Basic
+
+(* Primal entering-variable rule. Devex (the default) prices a bounded
+   candidate list against reference weights approximating steepest-edge
+   norms; Dantzig is the classic most-negative full scan; Bland is the
+   smallest-index full scan (terminating, slow). All three fall back to
+   Bland's rule automatically after a degenerate stall. *)
+type pricing = Dantzig | Devex | Bland
+
+let pricing_name = function
+  | Dantzig -> "dantzig"
+  | Devex -> "devex"
+  | Bland -> "bland"
+
+(* Work counters, accumulated across every phase (and, via [?counters] on
+   {!build}, across all tableaus of a branch-and-bound search). *)
+type counters = {
+  mutable pivots : int;             (* primal basis changes (phases I+II) *)
+  mutable dual_pivots : int;        (* dual-simplex repair pivots *)
+  mutable pricing_scanned : int;    (* candidate columns priced *)
+  mutable pricing_refreshes : int;  (* candidate-list rebuild scans *)
+}
+
+let fresh_counters () =
+  { pivots = 0; dual_pivots = 0; pricing_scanned = 0; pricing_refreshes = 0 }
+
+let add_counters ~into c =
+  into.pivots <- into.pivots + c.pivots;
+  into.dual_pivots <- into.dual_pivots + c.dual_pivots;
+  into.pricing_scanned <- into.pricing_scanned + c.pricing_scanned;
+  into.pricing_refreshes <- into.pricing_refreshes + c.pricing_refreshes
 
 (* How an original variable maps to solver columns. The shift of Shifted /
    Flipped columns lives in the mutable [shift] array so branching can
@@ -36,6 +78,7 @@ type t = {
   tab : float array array;         (* m x ncols: B^-1 A *)
   beta : float array;              (* basic values *)
   basis : int array;
+  row_of_col : int array;          (* ncols: basis row of a Basic column, -1 otherwise *)
   stat : status array;
   upper : float array;             (* column upper bounds (lower is 0) *)
   enterable : bool array;
@@ -46,53 +89,100 @@ type t = {
   mutable cost : float array;      (* phase-2 reduced costs (minimization) *)
   mutable obj_sign : float;        (* +1 minimize, -1 maximize *)
   mutable iters : int;
+  pricing : pricing;
+  cnt : counters;
+  (* sparse row supports: [rsup.(i).(0 .. rsup_len.(i)-1)] is a superset
+     of the nonzero columns of row i (below [act]); [rmem.(i)] is the
+     membership byte per column. Fill-in is appended on elimination; the
+     pivot row's support is rebuilt exactly at every pivot. *)
+  rsup : int array array;
+  rsup_len : int array;
+  rmem : Bytes.t array;
+  (* devex reference weights (primal pricing) *)
+  dw : float array;
+  (* partial-pricing candidate list (kept with its devex scores) *)
+  cands : int array;
+  cscore : float array;
+  mutable ncands : int;
+  mutable since_refresh : int;
 }
 
 let feas_eps = 1.0e-7
 let pivot_eps = 1.0e-8
 let cost_eps = 1.0e-7
 
-let iterations t = t.iters
+(* candidate-list partial pricing: list width and forced-refresh period *)
+let max_cands = 64
+let refresh_period = 25
 
-(* Current value of column [j] (slow path; not used in hot loops). *)
+(* reset the devex reference framework when weights blow past this *)
+let devex_weight_cap = 1.0e10
+
+let iterations t = t.iters
+let counters t = t.cnt
+
+(* Current value of column [j]: O(1) via the inverse basis map. *)
 let col_value tb j =
   match tb.stat.(j) with
   | At_lower -> 0.0
   | At_upper -> tb.upper.(j)
   | Basic ->
-    let rec find i =
-      if i >= tb.m then 0.0
-      else if tb.basis.(i) = j then tb.beta.(i)
-      else find (i + 1)
+    let r = tb.row_of_col.(j) in
+    if r >= 0 then tb.beta.(r) else 0.0
+
+(* Append column [k] to row [i]'s support if not already present. *)
+let sup_add tb i k =
+  if Bytes.unsafe_get tb.rmem.(i) k = '\000' then begin
+    Bytes.unsafe_set tb.rmem.(i) k '\001';
+    let len = tb.rsup_len.(i) in
+    let arr = tb.rsup.(i) in
+    let arr =
+      if len = Array.length arr then begin
+        let bigger = Array.make (max 8 (2 * len)) 0 in
+        Array.blit arr 0 bigger 0 len;
+        tb.rsup.(i) <- bigger;
+        bigger
+      end
+      else arr
     in
-    find 0
+    arr.(len) <- k;
+    tb.rsup_len.(i) <- len + 1
+  end
 
 (* Gaussian elimination pivot on (row r, column j); [costs] rows are
    eliminated alongside. [beta] is NOT touched: callers maintain it
-   explicitly (needed for nonbasic-at-upper bookkeeping). *)
+   explicitly (needed for nonbasic-at-upper bookkeeping). The pivot
+   row's support is rebuilt exactly (stale and deactivated entries are
+   dropped); other rows gain fill-in entries, so their supports stay
+   supersets of the true nonzero patterns. *)
 let pivot tb costs r j =
   let trow = tb.tab.(r) in
   let p = trow.(j) in
   if Float.abs p < pivot_eps then invalid_arg "simplex: zero pivot";
   let act = tb.act in
   let inv = 1.0 /. p in
-  for k = 0 to act - 1 do
-    Array.unsafe_set trow k (Array.unsafe_get trow k *. inv)
-  done;
-  (* nonzero support of the pivot row: skipping zero columns in the
-     eliminations below is the dominant saving of the whole solver *)
-  let nnz = Array.make act 0 in
-  let n_nnz = ref 0 in
-  for k = 0 to act - 1 do
-    if Array.unsafe_get trow k <> 0.0 then begin
-      Array.unsafe_set nnz !n_nnz k;
-      incr n_nnz
+  let sup = tb.rsup.(r) in
+  let len = tb.rsup_len.(r) in
+  let mem = tb.rmem.(r) in
+  let w = ref 0 in
+  for ki = 0 to len - 1 do
+    let k = Array.unsafe_get sup ki in
+    if k < act then begin
+      let v = Array.unsafe_get trow k *. inv in
+      if v <> 0.0 then begin
+        Array.unsafe_set trow k v;
+        Array.unsafe_set sup !w k;
+        incr w
+      end
+      else Bytes.unsafe_set mem k '\000'
     end
+    else Bytes.unsafe_set mem k '\000'
   done;
-  let n_nnz = !n_nnz in
-  let eliminate row f =
+  let n_nnz = !w in
+  tb.rsup_len.(r) <- n_nnz;
+  let eliminate_dense row f =
     for ki = 0 to n_nnz - 1 do
-      let k = Array.unsafe_get nnz ki in
+      let k = Array.unsafe_get sup ki in
       Array.unsafe_set row k
         (Array.unsafe_get row k -. (f *. Array.unsafe_get trow k))
     done;
@@ -102,49 +192,175 @@ let pivot tb costs r j =
     if i <> r then begin
       let row = tb.tab.(i) in
       let f = row.(j) in
-      if f <> 0.0 then eliminate row f
+      if f <> 0.0 then begin
+        let memi = tb.rmem.(i) in
+        for ki = 0 to n_nnz - 1 do
+          let k = Array.unsafe_get sup ki in
+          Array.unsafe_set row k
+            (Array.unsafe_get row k -. (f *. Array.unsafe_get trow k));
+          if Bytes.unsafe_get memi k = '\000' then sup_add tb i k
+        done;
+        row.(j) <- 0.0
+      end
     end
   done;
   List.iter
     (fun cost ->
       let f = cost.(j) in
-      if f <> 0.0 then eliminate cost f)
+      if f <> 0.0 then eliminate_dense cost f)
     costs
 
-(* One primal iteration on the given reduced-cost row. *)
-let step tb cost ~bland =
+(* ------------------------------------------------------------------ *)
+(* Primal pricing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Improvement magnitude |d_j| of column [j], 0.0 when it may not enter. *)
+let favorable tb cost j =
+  if not tb.enterable.(j) then 0.0
+  else
+    match tb.stat.(j) with
+    | Basic -> 0.0
+    | At_lower -> if cost.(j) < -.cost_eps then -.cost.(j) else 0.0
+    | At_upper -> if cost.(j) > cost_eps then cost.(j) else 0.0
+
+(* Bland: smallest favorable index, full scan. *)
+let select_bland tb cost =
   let entering = ref (-1) in
-  let best = ref 0.0 in
   (try
      for j = 0 to tb.act - 1 do
-       if tb.enterable.(j) then
-         match tb.stat.(j) with
-         | Basic -> ()
-         | At_lower ->
-           if cost.(j) < -.cost_eps then
-             if bland then begin
-               entering := j;
-               raise Exit
-             end
-             else if cost.(j) < !best then begin
-               best := cost.(j);
-               entering := j
-             end
-         | At_upper ->
-           if cost.(j) > cost_eps then
-             if bland then begin
-               entering := j;
-               raise Exit
-             end
-             else if -.cost.(j) < !best then begin
-               best := -.cost.(j);
-               entering := j
-             end
+       if favorable tb cost j > 0.0 then begin
+         entering := j;
+         raise Exit
+       end
      done
    with Exit -> ());
-  if !entering < 0 then `Optimal
+  tb.cnt.pricing_scanned <-
+    tb.cnt.pricing_scanned + (if !entering < 0 then tb.act else !entering + 1);
+  !entering
+
+(* Dantzig: most favorable reduced cost, full scan (ties to the first). *)
+let select_dantzig tb cost =
+  let entering = ref (-1) in
+  let best = ref 0.0 in
+  for j = 0 to tb.act - 1 do
+    let d = favorable tb cost j in
+    if d > !best then begin
+      best := d;
+      entering := j
+    end
+  done;
+  tb.cnt.pricing_scanned <- tb.cnt.pricing_scanned + tb.act;
+  !entering
+
+(* Rebuild the candidate list: full scan of the active range, keeping the
+   [max_cands] columns with the best devex scores d_j^2 / w_j (min-tracked
+   replacement into a fixed-width list). The scan always covers every
+   active column, so an empty refresh proves optimality. *)
+let refresh_cands tb cost =
+  tb.cnt.pricing_refreshes <- tb.cnt.pricing_refreshes + 1;
+  tb.since_refresh <- 0;
+  let act = tb.act in
+  let cap = Array.length tb.cands in
+  let n = ref 0 in
+  let min_i = ref 0 in
+  for j = 0 to act - 1 do
+    let d = favorable tb cost j in
+    if d > 0.0 then begin
+      let score = d *. d /. tb.dw.(j) in
+      if !n < cap then begin
+        tb.cands.(!n) <- j;
+        tb.cscore.(!n) <- score;
+        if !n = 0 || score < tb.cscore.(!min_i) then min_i := !n;
+        incr n
+      end
+      else if score > tb.cscore.(!min_i) then begin
+        tb.cands.(!min_i) <- j;
+        tb.cscore.(!min_i) <- score;
+        let m = ref 0 in
+        for k = 1 to cap - 1 do
+          if tb.cscore.(k) < tb.cscore.(!m) then m := k
+        done;
+        min_i := !m
+      end
+    end
+  done;
+  tb.cnt.pricing_scanned <- tb.cnt.pricing_scanned + act;
+  tb.ncands <- !n
+
+(* Devex over the candidate list: maximize d_j^2 / w_j among candidates,
+   dropping entries that are no longer favorable. Refreshes when the list
+   runs dry (and periodically, to pick up newly-favorable columns); a
+   refresh that finds nothing is a proof of optimality. *)
+let select_devex tb cost =
+  let pick () =
+    let entering = ref (-1) in
+    let best = ref 0.0 in
+    let w = ref 0 in
+    for ci = 0 to tb.ncands - 1 do
+      let j = tb.cands.(ci) in
+      let d = favorable tb cost j in
+      if d > 0.0 then begin
+        tb.cands.(!w) <- j;
+        incr w;
+        let score = d *. d /. tb.dw.(j) in
+        if score > !best then begin
+          best := score;
+          entering := j
+        end
+      end
+    done;
+    tb.cnt.pricing_scanned <- tb.cnt.pricing_scanned + tb.ncands;
+    tb.ncands <- !w;
+    !entering
+  in
+  tb.since_refresh <- tb.since_refresh + 1;
+  if tb.since_refresh >= refresh_period then refresh_cands tb cost;
+  let e = pick () in
+  if e >= 0 then e
   else begin
-    let j = !entering in
+    refresh_cands tb cost;
+    pick ()
+  end
+
+(* Devex reference-weight update after pivoting column [q] into row [r]:
+   for every column of the (already scaled) pivot row,
+   w_k := max(w_k, trow_k^2 * w_q); the leaving variable gets
+   max(w_q / p^2, 1) where p is the pre-scale pivot element. Weights are
+   reset to the unit framework when they blow up. *)
+let devex_update tb r q ~wq ~pval ~leaving =
+  let trow = tb.tab.(r) in
+  let sup = tb.rsup.(r) in
+  let len = tb.rsup_len.(r) in
+  let dw = tb.dw in
+  let maxw = ref 0.0 in
+  for ki = 0 to len - 1 do
+    let k = Array.unsafe_get sup ki in
+    if k <> q then begin
+      let a = Array.unsafe_get trow k in
+      let w = a *. a *. wq in
+      if w > Array.unsafe_get dw k then begin
+        Array.unsafe_set dw k w;
+        if w > !maxw then maxw := w
+      end
+    end
+  done;
+  let wl = Float.max 1.0 (wq /. (pval *. pval)) in
+  dw.(leaving) <- wl;
+  dw.(q) <- 1.0;
+  if !maxw > devex_weight_cap || wl > devex_weight_cap then
+    Array.fill dw 0 tb.ncols 1.0
+
+(* One primal iteration on the given reduced-cost row. *)
+let step tb cost ~rule =
+  let entering =
+    match rule with
+    | Bland -> select_bland tb cost
+    | Dantzig -> select_dantzig tb cost
+    | Devex -> select_devex tb cost
+  in
+  if entering < 0 then `Optimal
+  else begin
+    let j = entering in
     let sigma = match tb.stat.(j) with At_lower -> 1.0 | _ -> -1.0 in
     let t_best = ref tb.upper.(j) in
     let leave_row = ref (-1) in
@@ -199,14 +415,26 @@ let step tb cost ~bland =
         tb.stat.(old_basic) <- (if !leave_to_upper then At_upper else At_lower);
         tb.stat.(j) <- Basic;
         tb.basis.(r) <- j;
+        tb.row_of_col.(old_basic) <- -1;
+        tb.row_of_col.(j) <- r;
         tb.beta.(r) <- entering_value;
-        `Pivot (r, j)
+        `Pivot (r, j, old_basic)
       end
     end
   end
 
-let run_phase tb cost ~extra_costs ~max_iters ~deadline =
+(* Degenerate-stall escalation ladder. Level 0 is the phase's configured
+   pricing rule. A stall longer than the threshold first demotes devex
+   partial pricing to a full Dantzig scan (level 1) with a fresh
+   reference framework — a stale candidate list is the usual culprit,
+   and full pricing escapes most stalls that partial pricing walks in
+   circles on. Only a second full stall window engages Bland's rule
+   (level 2, gated on the live stall counter exactly as before, so it
+   disengages after a progress pivot). Dantzig/Bland runs skip straight
+   to level 2. *)
+let run_phase tb cost ~pricing ~extra_costs ~max_iters ~deadline =
   let stall = ref 0 in
+  let fallback = ref (match pricing with Devex -> 0 | _ -> 2) in
   let bland_threshold = 2 * (tb.m + tb.ncols) in
   let rec loop () =
     if
@@ -214,30 +442,54 @@ let run_phase tb cost ~extra_costs ~max_iters ~deadline =
       || (tb.iters land 127 = 0 && Clock.now () > deadline)
     then `Iteration_limit
     else begin
-      let bland = !stall > bland_threshold in
-      match step tb cost ~bland with
+      if !stall > bland_threshold && !fallback < 2 then begin
+        if !fallback = 0 then begin
+          tb.ncands <- 0;
+          Array.fill tb.dw 0 tb.ncols 1.0
+        end;
+        incr fallback;
+        stall := 0
+      end;
+      let rule =
+        if !fallback = 2 && !stall > bland_threshold then Bland
+        else
+          match !fallback with
+          | 0 -> pricing
+          | _ -> ( match pricing with Bland -> Bland | _ -> Dantzig)
+      in
+      match step tb cost ~rule with
       | `Optimal -> `Optimal
       | `Unbounded -> `Unbounded
       | `Step ->
         incr stall;
         loop ()
-      | `Pivot (r, j) ->
+      | `Pivot (r, j, leaving) ->
+        let wq = tb.dw.(j) in
+        let pval = tb.tab.(r).(j) in
         pivot tb (cost :: extra_costs) r j;
+        tb.cnt.pivots <- tb.cnt.pivots + 1;
+        if rule = Devex then devex_update tb r j ~wq ~pval ~leaving;
         if tb.beta.(r) > feas_eps then stall := 0 else incr stall;
         loop ()
     end
   in
   loop ()
 
-(* Reduced costs of [c] w.r.t. the current basis. *)
+(* Reduced costs of [c] w.r.t. the current basis, using the row supports
+   (entries outside a support are structurally zero). *)
 let reduced_costs tb c =
   let cost = Array.copy c in
+  let act = tb.act in
   for i = 0 to tb.m - 1 do
     let cb = c.(tb.basis.(i)) in
     if Float.abs cb > 0.0 then begin
       let row = tb.tab.(i) in
-      for k = 0 to tb.act - 1 do
-        cost.(k) <- cost.(k) -. (cb *. row.(k))
+      let sup = tb.rsup.(i) in
+      for ki = 0 to tb.rsup_len.(i) - 1 do
+        let k = Array.unsafe_get sup ki in
+        if k < act then
+          Array.unsafe_set cost k
+            (Array.unsafe_get cost k -. (cb *. Array.unsafe_get row k))
       done
     end
   done;
@@ -250,7 +502,7 @@ let reduced_costs tb c =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let build ?bounds (p : Problem.t) =
+let build ?(pricing = Devex) ?counters ?bounds (p : Problem.t) =
   let n = Problem.num_vars p in
   let get_bounds j =
     match bounds with
@@ -320,9 +572,11 @@ let build ?bounds (p : Problem.t) =
     let rows = Array.make m [||] in
     let rhs = Array.make m 0.0 in
     let senses = Array.make m Problem.Eq in
+    let row_ids = Array.make m 0 in
     let k = ref 0 in
     Problem.iter_constrs
       (fun c ->
+        row_ids.(!k) <- c.Problem.c_id;
         let row, const = substitute c.Problem.c_expr in
         let b = c.Problem.c_rhs -. const in
         (* normalize to b >= 0; ">= 0" rows become "<= 0" so they start
@@ -403,6 +657,33 @@ let build ?bounds (p : Problem.t) =
         enterable.(a) <- false;
         artificials := a :: !artificials
     done;
+    let row_of_col = Array.make ncols (-1) in
+    for i = 0 to m - 1 do
+      row_of_col.(basis.(i)) <- i
+    done;
+    (* initial row supports: exact nonzero patterns of the start tableau *)
+    let rsup = Array.make m [||] in
+    let rsup_len = Array.make m 0 in
+    let rmem = Array.init m (fun _ -> Bytes.make ncols '\000') in
+    for i = 0 to m - 1 do
+      let row = tab.(i) in
+      let nnz = ref 0 in
+      for k = 0 to ncols - 1 do
+        if row.(k) <> 0.0 then incr nnz
+      done;
+      let sup = Array.make (max 8 !nnz) 0 in
+      let w = ref 0 in
+      let mem = rmem.(i) in
+      for k = 0 to ncols - 1 do
+        if row.(k) <> 0.0 then begin
+          sup.(!w) <- k;
+          incr w;
+          Bytes.set mem k '\001'
+        end
+      done;
+      rsup.(i) <- sup;
+      rsup_len.(i) <- !w
+    done;
     let tb =
       {
         problem = p;
@@ -414,6 +695,7 @@ let build ?bounds (p : Problem.t) =
         tab;
         beta;
         basis;
+        row_of_col;
         stat;
         upper;
         enterable;
@@ -424,15 +706,34 @@ let build ?bounds (p : Problem.t) =
         cost = [||];
         obj_sign = 1.0;
         iters = 0;
+        pricing;
+        cnt = (match counters with Some c -> c | None -> fresh_counters ());
+        rsup;
+        rsup_len;
+        rmem;
+        dw = Array.make ncols 1.0;
+        cands = Array.make (max 1 (min ncols max_cands)) 0;
+        cscore = Array.make (max 1 (min ncols max_cands)) 0.0;
+        ncands = 0;
+        since_refresh = 0;
       }
     in
     (* tiny deterministic rhs perturbation against degenerate stalling,
        inequality rows only (each has its own slack, so no dependency
-       between equalities can be broken) *)
+       between equalities can be broken). Keyed on the row's stable origin
+       id [Problem.c_id], not its current index: presolve drops redundant
+       rows, and an index-keyed perturbation would re-key every surviving
+       row — the reduced and original problems would then solve to
+       different vertices and branch-and-bound would explore genuinely
+       different trees. Origin ids survive presolve verbatim, so the
+       perturbed geometries agree (and without presolve, id = index, so
+       this is exactly the historical perturbation). *)
     for i = 0 to m - 1 do
       match senses.(i) with
       | Problem.Le | Problem.Ge ->
-        tb.beta.(i) <- tb.beta.(i) +. (2.0e-8 *. float_of_int (1 + (i mod 89)))
+        tb.beta.(i) <-
+          tb.beta.(i)
+          +. (2.0e-8 *. float_of_int (1 + (row_ids.(i) mod 89)))
       | Problem.Eq -> ()
     done;
     Some tb
@@ -454,7 +755,16 @@ let phase1 tb ~max_iters ~deadline =
     let c1 = Array.make tb.ncols 0.0 in
     List.iter (fun a -> c1.(a) <- 1.0) tb.artificials;
     let cost = reduced_costs tb c1 in
-    match run_phase tb cost ~extra_costs:[] ~max_iters ~deadline with
+    (* Phase I prices the artificial objective with a full Dantzig scan
+       even under devex: the auxiliary cost row is ephemeral and heavily
+       degenerate, and reference weights learned on it are worthless (and
+       measurably unstable) — the devex framework starts fresh on the
+       real objective in phase II. A configured Bland run stays Bland. *)
+    let ph1_pricing = match tb.pricing with Devex -> Dantzig | r -> r in
+    match
+      run_phase tb cost ~pricing:ph1_pricing ~extra_costs:[] ~max_iters
+        ~deadline
+    with
     | `Optimal ->
       let infeas =
         List.fold_left (fun acc a -> acc +. col_value tb a) 0.0 tb.artificials
@@ -468,14 +778,18 @@ let phase1 tb ~max_iters ~deadline =
         for r = 0 to tb.m - 1 do
           if tb.basis.(r) >= first_artif && Float.abs tb.beta.(r) <= feas_eps
           then begin
+            (* smallest-index nonbasic column of the row's support with a
+               usable coefficient *)
             let j = ref (-1) in
-            let k = ref 0 in
-            while !j < 0 && !k < first_artif do
+            let sup = tb.rsup.(r) in
+            for ki = 0 to tb.rsup_len.(r) - 1 do
+              let k = sup.(ki) in
               if
-                Float.abs tb.tab.(r).(!k) > 100.0 *. pivot_eps
-                && tb.stat.(!k) <> Basic
-              then j := !k;
-              incr k
+                k < first_artif
+                && (!j < 0 || k < !j)
+                && Float.abs tb.tab.(r).(k) > 100.0 *. pivot_eps
+                && tb.stat.(k) <> Basic
+              then j := k
             done;
             if !j >= 0 then begin
               let entering = !j in
@@ -485,10 +799,14 @@ let phase1 tb ~max_iters ~deadline =
                 | At_upper -> tb.upper.(entering)
                 | Basic -> assert false
               in
-              tb.stat.(tb.basis.(r)) <- At_lower;
+              let leaving = tb.basis.(r) in
+              tb.stat.(leaving) <- At_lower;
               tb.stat.(entering) <- Basic;
               tb.basis.(r) <- entering;
+              tb.row_of_col.(leaving) <- -1;
+              tb.row_of_col.(entering) <- r;
               pivot tb [ cost ] r entering;
+              tb.cnt.pivots <- tb.cnt.pivots + 1;
               tb.beta.(r) <- entering_value
             end
           end
@@ -537,11 +855,20 @@ let install_objective tb =
         c2.(cn) <- c2.(cn) -. (tb.obj_sign *. c))
     obj_expr;
   tb.cost <- reduced_costs tb c2;
-  perturb_costs tb
+  perturb_costs tb;
+  (* phase change: restart the pricing state. The candidate list belongs
+     to the previous cost row, and the devex reference framework starts
+     fresh on the real objective (phase I priced with Dantzig, so the
+     weights are still the unit framework unless a caller re-installs an
+     objective mid-run — reset keeps that path honest too). *)
+  tb.ncands <- 0;
+  tb.since_refresh <- 0;
+  Array.fill tb.dw 0 tb.ncols 1.0
 
 (* Phase II on the installed objective. *)
 let phase2 tb ~max_iters ~deadline =
-  run_phase tb tb.cost ~extra_costs:[] ~max_iters ~deadline
+  run_phase tb tb.cost ~pricing:tb.pricing ~extra_costs:[] ~max_iters
+    ~deadline
 
 (* Extract the solution in original-variable space. *)
 let solution tb =
@@ -601,11 +928,8 @@ let set_var_bounds tb j ~lo ~hi =
     (match tb.stat.(col) with
      | Basic ->
        (* y = x - shift: re-shift the stored basic value *)
-       let r = ref (-1) in
-       for i = 0 to tb.m - 1 do
-         if tb.basis.(i) = col then r := i
-       done;
-       if !r >= 0 then tb.beta.(!r) <- tb.beta.(!r) -. (lo -. old_lo)
+       let r = tb.row_of_col.(col) in
+       if r >= 0 then tb.beta.(r) <- tb.beta.(r) -. (lo -. old_lo)
      | At_lower | At_upper -> ());
     tb.shift.(j) <- lo;
     tb.upper.(col) <- hi -. lo
@@ -623,7 +947,8 @@ let var_bounds_of tb j =
 
 (* Bounded dual simplex: repair primal feasibility after bound changes
    while the reduced costs (unchanged by bound moves) stay dual feasible.
-   On success the basis is optimal again. *)
+   On success the basis is optimal again. The entering scan walks the
+   leaving row's nonzero support instead of every active column. *)
 let dual_restore tb ~max_iters ~deadline =
   let start_iters = tb.iters in
   let reperturbed = ref false in
@@ -666,16 +991,21 @@ let dual_restore tb ~max_iters ~deadline =
       else begin
         let r = !r in
         let row = tb.tab.(r) in
-        (* eligible entering columns; the dual ratio test (minimal
-           |cost/a|, ties to the smallest index) must be respected even
-           when stalled — entering on a non-minimal ratio would break dual
-           feasibility and hence the optimality of the repaired basis.
-           Columns fixed at width 0 (e.g. branching-fixed binaries) can
-           never usefully enter. *)
+        (* eligible entering columns from the row's nonzero support; the
+           dual ratio test (minimal |cost/a|, ties to the smallest index)
+           must be respected even when stalled — entering on a non-minimal
+           ratio would break dual feasibility and hence the optimality of
+           the repaired basis. Columns fixed at width 0 (e.g.
+           branching-fixed binaries) can never usefully enter. *)
         let entering = ref (-1) in
         let best_ratio = ref infinity in
-        for j = 0 to tb.act - 1 do
-          if tb.enterable.(j) && tb.stat.(j) <> Basic && tb.upper.(j) > 0.0
+        let sup = tb.rsup.(r) in
+        let act = tb.act in
+        for ki = 0 to tb.rsup_len.(r) - 1 do
+          let j = Array.unsafe_get sup ki in
+          if
+            j < act && tb.enterable.(j) && tb.stat.(j) <> Basic
+            && tb.upper.(j) > 0.0
           then begin
             let a = row.(j) in
             if Float.abs a > pivot_eps then begin
@@ -694,8 +1024,12 @@ let dual_restore tb ~max_iters ~deadline =
               in
               if eligible then begin
                 let ratio = Float.abs (tb.cost.(j) /. a) in
-                if ratio < !best_ratio -. 1.0e-12 then begin
-                  best_ratio := ratio;
+                if
+                  ratio < !best_ratio -. 1.0e-12
+                  || (ratio <= !best_ratio +. 1.0e-12
+                      && (!entering < 0 || j < !entering))
+                then begin
+                  if ratio < !best_ratio then best_ratio := ratio;
                   entering := j
                 end
               end
@@ -725,7 +1059,10 @@ let dual_restore tb ~max_iters ~deadline =
           tb.stat.(leaving) <- (if !over_upper then At_upper else At_lower);
           tb.stat.(j) <- Basic;
           tb.basis.(r) <- j;
+          tb.row_of_col.(leaving) <- -1;
+          tb.row_of_col.(j) <- r;
           pivot tb [ tb.cost ] r j;
+          tb.cnt.dual_pivots <- tb.cnt.dual_pivots + 1;
           tb.beta.(r) <- entering_bound_value +. t;
           loop ()
         end

@@ -21,28 +21,36 @@ type config = {
   engine : engine;
   branch_seed : int;
   use_warm : bool;
+  pricing : Milp.Simplex.pricing;
 }
 
 let engine_name = function Best_first -> "bf" | Depth_first -> "dfs"
 
-let make_config i engine use_warm =
+let make_config ?(pricing = Milp.Simplex.Devex) i engine use_warm =
   {
     name =
-      Fmt.str "%s-s%d-%s" (engine_name engine) i
-        (if use_warm then "warm" else "cold");
+      Fmt.str "%s-s%d-%s-%s" (engine_name engine) i
+        (if use_warm then "warm" else "cold")
+        (Milp.Simplex.pricing_name pricing);
     engine;
     branch_seed = i;
     use_warm;
+    pricing;
   }
 
 (* Engines alternate; the first pair starts warm (sprint from the
    heuristic incumbent), the second cold (unbiased search); beyond four,
-   alternate warm/cold with fresh seeds. *)
+   alternate warm/cold with fresh seeds. Devex pricing dominates the
+   panel; every fourth worker runs Dantzig so a pathology of the devex
+   trajectory cannot stall the whole portfolio. *)
 let default_configs ~jobs =
   List.init (max 1 jobs) (fun i ->
       let engine = if i mod 2 = 0 then Best_first else Depth_first in
       let use_warm = if i < 4 then i < 2 else i mod 2 = 0 in
-      make_config i engine use_warm)
+      let pricing =
+        if i mod 4 = 3 then Milp.Simplex.Dantzig else Milp.Simplex.Devex
+      in
+      make_config ~pricing i engine use_warm)
 
 type report = {
   config : config;
@@ -100,8 +108,8 @@ let conclusive = function
   | Milp.Branch_bound.Feasible | Milp.Branch_bound.Unknown -> false
 
 let solve ?pool ?jobs ?configs ?(deterministic = false) ?cancel ?deadline
-    ?(time_limit_s = 60.0) ?node_limit ?incumbent (p : Milp.Problem.t) : result
-    =
+    ?(time_limit_s = 60.0) ?node_limit ?incumbent ?(presolve = true)
+    (p0 : Milp.Problem.t) : result =
   let t0 = Milp.Clock.now () in
   let deadline =
     match deadline with Some d -> d | None -> t0 +. time_limit_s
@@ -119,10 +127,57 @@ let solve ?pool ?jobs ?configs ?(deterministic = false) ?cancel ?deadline
          never change the answer *)
       default_configs ~jobs:(if deterministic then 4 else jobs)
   in
-  let dir, obj_expr = Milp.Problem.objective p in
+  let dir, obj_expr = Milp.Problem.objective p0 in
   let sense =
     match dir with Milp.Problem.Minimize -> 1.0 | Milp.Problem.Maximize -> -1.0
   in
+  (* Presolve once at the root and hand every worker the reduced problem
+     (same variable ids, unchanged feasible set) — running it per worker
+     would only duplicate deterministic work. Workers are then launched
+     with [~presolve:false]; the root reductions are re-attached to the
+     winning solution's stats below. *)
+  let presolve_outcome =
+    if presolve then Milp.Presolve.run p0
+    else (Milp.Presolve.Reduced p0, Milp.Branch_bound.no_presolve_stats)
+  in
+  match presolve_outcome with
+  | Milp.Presolve.Infeasible row, pre ->
+    Log.info (fun f -> f "portfolio: presolve proved infeasibility (%s)" row);
+    let lp =
+      Milp.Branch_bound.lp_of_counters (Milp.Simplex_core.fresh_counters ())
+        ~lp_time_s:0.0 ~presolve:pre
+    in
+    let time_s = Milp.Clock.now () -. t0 in
+    {
+      solution =
+        {
+          Milp.Branch_bound.status = Milp.Branch_bound.Infeasible;
+          obj = None;
+          x = None;
+          stats =
+            {
+              Milp.Branch_bound.nodes = 0;
+              simplex_solves = 0;
+              time_s;
+              best_bound = (if sense > 0.0 then infinity else neg_infinity);
+              gap = None;
+              foreign_prunes = 0;
+              lp;
+            };
+        };
+      stats =
+        {
+          winner = None;
+          reports = [];
+          incumbents_published = 0;
+          incumbents_imported = 0;
+          foreign_prunes = 0;
+          time_s;
+          jobs;
+          deterministic;
+        };
+    }
+  | Milp.Presolve.Reduced p, pre ->
   let cell : (float * float array) option Atomic.t = Atomic.make None in
   let published = Atomic.make 0 in
   let imported = Atomic.make 0 in
@@ -195,10 +250,12 @@ let solve ?pool ?jobs ?configs ?(deterministic = false) ?cancel ?deadline
       match cfg.engine with
       | Best_first ->
         Milp.Branch_bound.solve ~deadline ?node_limit ?incumbent:inc
-          ~branch_seed:cfg.branch_seed ~hooks p
+          ~branch_seed:cfg.branch_seed ~hooks ~pricing:cfg.pricing
+          ~presolve:false p
       | Depth_first ->
         Milp.Dfs_solver.solve ~deadline ?node_limit ?incumbent:inc
-          ~branch_seed:cfg.branch_seed ~hooks p
+          ~branch_seed:cfg.branch_seed ~hooks ~pricing:cfg.pricing
+          ~presolve:false p
     in
     if (not deterministic) && conclusive sol.Milp.Branch_bound.status then begin
       if Atomic.compare_and_set winner (-1) i then
@@ -324,4 +381,19 @@ let solve ?pool ?jobs ?configs ?(deterministic = false) ?cancel ?deadline
     }
   in
   Log.info (fun f -> f "portfolio: %a" pp_stats stats);
+  (* re-attach the root presolve reductions (workers ran presolve-free) *)
+  let chosen =
+    {
+      chosen with
+      Milp.Branch_bound.stats =
+        {
+          chosen.Milp.Branch_bound.stats with
+          Milp.Branch_bound.lp =
+            Milp.Branch_bound.lp_add chosen.Milp.Branch_bound.stats.Milp.Branch_bound.lp
+              (Milp.Branch_bound.lp_of_counters
+                 (Milp.Simplex_core.fresh_counters ())
+                 ~lp_time_s:0.0 ~presolve:pre);
+        };
+    }
+  in
   { solution = chosen; stats }

@@ -36,10 +36,12 @@ type config = {
   engine : engine;
   branch_seed : int;  (** branching-order perturbation; 0 = classic rule *)
   use_warm : bool;  (** receive the caller's warm incumbent at start *)
+  pricing : Milp.Simplex.pricing;  (** LP entering-variable rule *)
 }
 
 (** The default diversified panel: engines alternate, seeds differ, the
-    first pair starts warm and the second cold. *)
+    first pair starts warm and the second cold; devex pricing dominates,
+    with every fourth worker on Dantzig. *)
 val default_configs : jobs:int -> config list
 
 (** Per-worker outcome, in config order. *)
@@ -85,7 +87,13 @@ type result = { solution : Milp.Branch_bound.solution; stats : stats }
       worker at its next node (the race's own first-conclusive
       cancellation still applies on top). In deterministic mode the
       token is still polled, but cancelling it obviously forfeits the
-      bit-identity guarantee for that run.
+      bit-identity guarantee for that run;
+    - [presolve] (default [true]) runs {!Milp.Presolve} once at the root
+      and hands every worker the reduced problem with its own presolve
+      disabled (the reduction is deterministic, so this also preserves
+      deterministic-mode bit-identity); the reductions are reported in
+      the winning solution's [stats.lp]. A presolve infeasibility proof
+      returns [Infeasible] without launching any worker.
 
     Winner selection: non-deterministic mode returns the first worker
     with a conclusive status (cancelling the rest), else the best
@@ -103,5 +111,6 @@ val solve :
   ?time_limit_s:float ->
   ?node_limit:int ->
   ?incumbent:float array ->
+  ?presolve:bool ->
   Milp.Problem.t ->
   result

@@ -230,6 +230,49 @@ let test_solve_dfs_engine () =
     check_bool "optimal (feasibility shortcut)" true
       (r.Solve.stats.Solve.status = Milp.Branch_bound.Optimal)
 
+(* presolve is on by default; the reduction must not change what the
+   solver returns on the seed example — the perturbation is keyed on
+   stable row ids precisely so reduced and original models solve along
+   identical trajectories (same node count, same assignment) *)
+let test_solve_presolve_default_unchanged () =
+  let app = fixture () in
+  let groups = Groups.compute app in
+  let gamma = gamma_for app 0.3 in
+  (* no warm start: a warm incumbent triggers the feasibility shortcut on
+     NO-OBJ and no search (hence no presolve) would run at all *)
+  let solve presolve =
+    Solve.solve ~presolve ~time_limit_s:20.0 Formulation.No_obj app groups
+      ~gamma
+  in
+  let on = solve true and off = solve false in
+  check_bool "both solved" true
+    (on.Solve.solution <> None && off.Solve.solution <> None);
+  check_bool "same status" true
+    (on.Solve.stats.Solve.status = off.Solve.stats.Solve.status);
+  check_int "same node count" off.Solve.stats.Solve.nodes
+    on.Solve.stats.Solve.nodes;
+  (match (on.Solve.x, off.Solve.x) with
+   | Some a, Some b ->
+     check_bool "same assignment" true
+       (Array.length a = Array.length b
+        && Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-9) a b)
+   | _ -> Alcotest.fail "expected raw assignments");
+  check_bool "presolve reduced something" true
+    (on.Solve.stats.Solve.lp.Milp.Branch_bound.presolve_rounds > 0)
+
+let test_pipeline_presolve_default_unchanged () =
+  let app = fixture () in
+  let run presolve =
+    match Pipeline.run ~presolve ~budget_s:30.0 ~alpha:0.3 app with
+    | Ok o -> o
+    | Error f -> Alcotest.fail (Pipeline.failure_to_string f)
+  in
+  let on = run true and off = run false in
+  check_bool "same rung" true (on.Pipeline.rung = off.Pipeline.rung);
+  check_bool "same solution" true
+    (Solution.allocation on.Pipeline.solution
+     = Solution.allocation off.Pipeline.solution)
+
 let test_solve_infeasible_gamma () =
   let app = fixture () in
   let groups = Groups.compute app in
@@ -680,7 +723,8 @@ let test_pipeline_lying_solver_falls_back () =
     { Certify.source = Certify.Milp_optimal; checks = 9999; warnings = [];
       time_s = 0.0 }
   in
-  let lying ~deadline_s:_ ~engine:_ ~jobs:_ ~cancel:_ ~warm:_ ~options
+  let lying ~deadline_s:_ ~engine:_ ~jobs:_ ~presolve:_ ~cancel:_ ~warm:_
+      ~options
       objective app groups ~gamma:g =
     let inst = Formulation.make ~options objective app groups ~gamma:g in
     {
@@ -693,6 +737,7 @@ let test_pipeline_lying_solver_falls_back () =
           status = Milp.Branch_bound.Optimal; gap = None;
           milp_vars = Milp.Problem.num_vars inst.Formulation.problem;
           milp_constraints = Milp.Problem.num_constrs inst.Formulation.problem;
+          lp = Milp.Branch_bound.lp_zero;
         };
       instance = inst;
     }
@@ -860,6 +905,8 @@ let () =
           Alcotest.test_case "OBJ-DMAT" `Slow test_solve_min_transfers;
           Alcotest.test_case "without warm start" `Slow test_solve_without_warm;
           Alcotest.test_case "dfs engine" `Quick test_solve_dfs_engine;
+          Alcotest.test_case "presolve default unchanged" `Slow
+            test_solve_presolve_default_unchanged;
           Alcotest.test_case "infeasible gamma" `Quick test_solve_infeasible_gamma;
         ] );
       ( "solution",
@@ -908,6 +955,8 @@ let () =
           Alcotest.test_case "lying solver falls back" `Quick
             test_pipeline_lying_solver_falls_back;
           Alcotest.test_case "no communications" `Quick test_pipeline_no_comms;
+          Alcotest.test_case "presolve default unchanged" `Slow
+            test_pipeline_presolve_default_unchanged;
           Alcotest.test_case "expired deadline" `Quick test_solve_expired_deadline;
         ] );
       ( "experiment",

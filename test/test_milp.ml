@@ -786,6 +786,99 @@ let prop_random_lp_solution_feasible =
       | S.Unbounded -> false (* impossible: box-bounded *)
       | S.Iteration_limit -> false)
 
+(* all pricing rules optimize the same LP to the same objective: devex
+   and Dantzig may walk different vertex paths (and devex prices only a
+   candidate list), but optimality is only declared after a full scan
+   comes up empty, so the optimum itself must agree with Bland's rule *)
+let prop_cross_pricing_same_objective =
+  QCheck.Test.make ~name:"pricing rules agree on the LP optimum" ~count:60
+    QCheck.(
+      list_of_size (Gen.int_range 1 6)
+        (list_of_size (Gen.return 4) (int_range (-5) 5)))
+    (fun rows ->
+      QCheck.assume (rows <> []);
+      let build () =
+        let p = P.create () in
+        let xs =
+          Array.init 4 (fun i ->
+              P.continuous ~name:(Printf.sprintf "cp%d" i) ~lo:0.0 ~hi:10.0 p)
+        in
+        List.iteri
+          (fun r coeffs ->
+            let coeffs = Array.of_list coeffs in
+            let expr =
+              L.of_list
+                (Array.to_list
+                   (Array.mapi (fun i c -> (float_of_int c, xs.(i))) coeffs))
+            in
+            ignore
+              (P.add_constr ~name:(Printf.sprintf "cr%d" r) p expr P.Le
+                 (float_of_int (10 + r))))
+          rows;
+        P.set_objective p P.Maximize
+          (L.of_list (Array.to_list (Array.map (fun x -> (1.0, x)) xs)));
+        p
+      in
+      let objs =
+        List.map
+          (fun pricing ->
+            match S.solve ~pricing (build ()) with
+            | S.Optimal { obj; _ } -> obj
+            | _ -> QCheck.assume_fail ())
+          [ S.Dantzig; S.Devex; S.Bland ]
+      in
+      match objs with
+      | [ a; b; c ] ->
+        Float.abs (a -. b) < 1.0e-5 && Float.abs (a -. c) < 1.0e-5
+      | _ -> false)
+
+(* presolve round trip: an optimal assignment of the reduced model must
+   be feasible (and equally good) in the original model — the reduction
+   keeps variable ids, so solutions transfer verbatim *)
+let prop_presolve_solution_roundtrip =
+  QCheck.Test.make ~name:"presolved optimum is feasible in the original"
+    ~count:40
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let n = 3 + Random.State.int st 5 in
+      let p = P.create () in
+      let xs =
+        Array.init n (fun i ->
+            if Random.State.bool st then
+              P.binary ~name:(Printf.sprintf "qb%d" i) p
+            else
+              P.integer ~name:(Printf.sprintf "qi%d" i) ~lo:0.0
+                ~hi:(float_of_int (1 + Random.State.int st 9))
+                p)
+      in
+      for r = 0 to 2 do
+        let expr =
+          Array.fold_left
+            (fun acc x ->
+              L.add_term acc (float_of_int (Random.State.int st 9 - 3)) x)
+            L.zero xs
+        in
+        if not (L.is_constant expr) then
+          ignore
+            (P.add_constr ~name:(Printf.sprintf "qr%d" r) p expr
+               (if Random.State.bool st then P.Le else P.Ge)
+               (float_of_int (Random.State.int st 20 - 5)))
+      done;
+      P.set_objective p P.Maximize
+        (L.of_list
+           (Array.to_list
+              (Array.map
+                 (fun x -> (float_of_int (1 + Random.State.int st 5), x))
+                 xs)));
+      match Pre.run p with
+      | Pre.Infeasible _, _ ->
+        (B.solve ~time_limit_s:10.0 p).B.status = B.Infeasible
+      | Pre.Reduced q, _ ->
+        (match (B.solve ~time_limit_s:10.0 q).B.x with
+         | None -> true
+         | Some x -> P.check_solution ~eps:1e-5 p x = []))
+
 (* the DFS diving solver and the best-first reference must agree *)
 let prop_dfs_matches_best_first =
   QCheck.Test.make ~name:"dfs solver matches best-first on random MILPs"
@@ -944,6 +1037,8 @@ let () =
         prop_dfs_matches_best_first;
         prop_lp_roundtrip;
         prop_presolve_preserves_optimum;
+        prop_cross_pricing_same_objective;
+        prop_presolve_solution_roundtrip;
       ]
   in
   Alcotest.run "milp"
