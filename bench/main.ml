@@ -146,6 +146,32 @@ let fig1 () =
   section "FIG1: protocol schedule vs Giotto ordering (Fig. 1)";
   print_endline (Letdma.Fig1.render ())
 
+(* Structured JSONL event trace of the FIG1 instance: a MILP solve
+   (solver node/incumbent events) plus the protocol simulation (bridged
+   simulator events), written next to the JSON baselines. Runs outside
+   the timed FIG1 section so the committed FIG1 wall-clock stays
+   trace-free — ci.sh compares fresh smoke runs against it. *)
+let fig1_trace prefix =
+  let path = Printf.sprintf "%s_FIG1_TRACE.jsonl" prefix in
+  Obs.with_trace ~file:path (fun () ->
+      let app = Letdma.Fig1.app () in
+      let groups = Groups.compute app in
+      let gamma = Letdma.Fig1.gamma app in
+      let warm = Letdma.Heuristic.solve_unchecked app groups ~gamma in
+      let r =
+        Letdma.Solve.solve ~time_limit_s:10.0 ?warm
+          Letdma.Formulation.Min_transfers app groups ~gamma
+      in
+      match r.Letdma.Solve.solution with
+      | None -> ()
+      | Some solution ->
+        let m =
+          Letdma.Baselines.run ~record_trace:true app groups
+            Letdma.Baselines.Proposed ~solution:(Some solution)
+        in
+        Dma_sim.Obs_bridge.emit app m.Dma_sim.Sim.trace);
+  Fmt.pr "[json] wrote %s (%d events)@." path (Obs.lines_written ())
+
 (* ------------------------------------------------------------------ *)
 (* FIG 2 + TABLE I (same six configurations)                           *)
 (* ------------------------------------------------------------------ *)
@@ -888,11 +914,13 @@ let () =
   end
   else if smoke then begin
     run_section "FIG1" fig1;
+    Option.iter fig1_trace !json_prefix;
     run_section "PARALLEL" (fun () -> parallel_section ~smoke:true app);
     Fmt.pr "@.bench: smoke sections completed@."
   end
   else begin
     run_section "FIG1" fig1;
+    Option.iter fig1_trace !json_prefix;
     run_section "FIG2_TABLE1" (fun () -> fig2_and_table1 app);
     run_section "ALPHA" (fun () -> alpha app);
     run_section "ABLATION_C6" ablation_c6;

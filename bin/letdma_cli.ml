@@ -121,6 +121,41 @@ let check_jobs jobs k =
   end
   else k ()
 
+(* --- observability ---------------------------------------------------- *)
+
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured JSONL event trace of the run (solver nodes and \
+           incumbents, pipeline rungs, portfolio workers, sweep carving, \
+           simulator timeline) to $(docv). See README: Observability for the \
+           event schema.")
+
+let metrics_t =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print an aggregated event summary (count and total span time per \
+           event) after the run. Implies event collection even without \
+           $(b,--trace).")
+
+(* Run a command body under the event sink when --trace/--metrics ask for
+   it; the sink is drained and closed even if the body fails. *)
+let with_obs ~trace ~metrics f =
+  if trace = None && not metrics then f ()
+  else begin
+    let code = Obs.with_trace ?file:trace f in
+    (match trace with
+     | Some file -> Fmt.pr "wrote %s (%d events)@." file (Obs.lines_written ())
+     | None -> ());
+    if metrics then Fmt.pr "%a@." Obs.pp_metrics ();
+    code
+  end
+
 let waters ~labels_per_edge = Workload.Waters2019.make ~labels_per_edge ()
 
 (* --- info ------------------------------------------------------------ *)
@@ -159,37 +194,41 @@ let fig1_cmd =
             "Additionally dump the proposed protocol's schedule as a VCD \
              waveform (viewable in GTKWave).")
   in
-  let run verbose vcd =
+  let run verbose vcd trace metrics =
     guard @@ fun () ->
     setup_logs verbose;
+    with_obs ~trace ~metrics @@ fun () ->
     Fmt.pr "%s@." (Letdma.Fig1.render ());
-    match vcd with
-    | None -> 0
-    | Some file -> (
+    if vcd = None && not (Obs.enabled ()) then 0
+    else
       let app = Letdma.Fig1.app () in
       let groups = Groups.compute app in
       let gamma = Letdma.Fig1.gamma app in
       match Letdma.Heuristic.solve app groups ~gamma with
       | Error e ->
-        err "vcd: %s" e;
+        err "fig1: %s" e;
         exit_no_solution
       | Ok solution ->
         let m =
           Letdma.Baselines.run ~record_trace:true app groups
             Letdma.Baselines.Proposed ~solution:(Some solution)
         in
-        let oc = open_out file in
-        output_string oc (Dma_sim.Vcd.to_vcd app m.Dma_sim.Sim.trace);
-        close_out oc;
-        Fmt.pr "wrote %s@." file;
-        0)
+        Dma_sim.Obs_bridge.emit app m.Dma_sim.Sim.trace;
+        (match vcd with
+         | None -> ()
+         | Some file ->
+           let oc = open_out file in
+           output_string oc (Dma_sim.Vcd.to_vcd app m.Dma_sim.Sim.trace);
+           close_out oc;
+           Fmt.pr "wrote %s@." file);
+        0
   in
   Cmd.v
     (Cmd.info "fig1"
        ~doc:
          "Reproduce the shape of the paper's Fig. 1: the protocol's schedule \
           vs the Giotto ordering on the 6-task example.")
-    Term.(const run $ verbose_t $ vcd_t)
+    Term.(const run $ verbose_t $ vcd_t $ trace_t $ metrics_t)
 
 (* --- fig2 ------------------------------------------------------------ *)
 
@@ -201,9 +240,10 @@ let fig2_cmd =
       & info [ "csv" ] ~docv:"FILE"
           ~doc:"Additionally write the per-task data as CSV for plotting.")
   in
-  let run verbose time_limit labels_per_edge csv =
+  let run verbose time_limit labels_per_edge csv trace metrics =
     guard @@ fun () ->
     setup_logs verbose;
+    with_obs ~trace ~metrics @@ fun () ->
     let app = waters ~labels_per_edge in
     let results = Letdma.Experiment.fig2 ~time_limit_s:time_limit app in
     Fmt.pr "%a@." (fun ppf -> Letdma.Report.fig2 ppf app) results;
@@ -228,7 +268,9 @@ let fig2_cmd =
          "Reproduce Fig. 2: latency ratios of the proposed approach vs the \
           three Giotto baselines for alpha in {0.2, 0.4} and the three \
           objectives.")
-    Term.(const run $ verbose_t $ time_limit_t $ labels_per_edge_t $ csv_t)
+    Term.(
+      const run $ verbose_t $ time_limit_t $ labels_per_edge_t $ csv_t
+      $ trace_t $ metrics_t)
 
 (* --- table1 ---------------------------------------------------------- *)
 
@@ -311,10 +353,11 @@ let stats_t =
 
 let solve_cmd =
   let run verbose time_limit labels_per_edge objective alpha heuristic jobs
-      no_presolve stats =
+      no_presolve stats trace metrics =
     guard @@ fun () ->
     setup_logs verbose;
     check_jobs jobs @@ fun () ->
+    with_obs ~trace ~metrics @@ fun () ->
     let app = waters ~labels_per_edge in
     let solver =
       if heuristic then Letdma.Experiment.Heuristic
@@ -343,7 +386,8 @@ let solve_cmd =
        ~doc:"Solve one configuration and report the resulting plan/latencies.")
     Term.(
       const run $ verbose_t $ time_limit_t $ labels_per_edge_t $ objective_t
-      $ alpha_t $ heuristic_t $ jobs_t $ no_presolve_t $ stats_t)
+      $ alpha_t $ heuristic_t $ jobs_t $ no_presolve_t $ stats_t $ trace_t
+      $ metrics_t)
 
 (* --- pipeline --------------------------------------------------------- *)
 
@@ -357,10 +401,11 @@ let pipeline_cmd =
             "Total wall-clock budget shared by every rung of the ladder \
              (MILP rounds, perturbed retry, fallbacks).")
   in
-  let run verbose labels_per_edge objective alpha budget jobs =
+  let run verbose labels_per_edge objective alpha budget jobs trace metrics =
     guard @@ fun () ->
     setup_logs verbose;
     check_jobs jobs @@ fun () ->
+    with_obs ~trace ~metrics @@ fun () ->
     let app = waters ~labels_per_edge in
     match Letdma.Pipeline.run ~objective ~budget_s:budget ~alpha ~jobs app with
     | Ok o ->
@@ -382,7 +427,7 @@ let pipeline_cmd =
           solution.")
     Term.(
       const run $ verbose_t $ labels_per_edge_t $ objective_t $ alpha_t
-      $ budget_t $ jobs_t)
+      $ budget_t $ jobs_t $ trace_t $ metrics_t)
 
 (* --- fault injection -------------------------------------------------- *)
 
@@ -440,6 +485,53 @@ let faults_cmd =
       const run $ verbose_t $ labels_per_edge_t $ alpha_t $ seed_t
       $ intensities_t)
 
+(* --- trace-check ------------------------------------------------------- *)
+
+let trace_check_cmd =
+  let files_t =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Files to validate: $(b,.jsonl) files are checked as event \
+             traces (every line a schema-conforming JSON object, timestamps \
+             monotone per domain), anything else as a single JSON document. \
+             Both checks reject NaN/Infinity tokens, which are not JSON.")
+  in
+  let run verbose files =
+    guard @@ fun () ->
+    setup_logs verbose;
+    let results =
+      List.map
+        (fun f ->
+          if Filename.check_suffix f ".jsonl" then (
+            match Obs.Check.trace_file f with
+            | Ok n ->
+              Fmt.pr "%s: OK (%d events)@." f n;
+              true
+            | Error m ->
+              err "%s: %s" f m;
+              false)
+          else
+            match Obs.Check.json_file f with
+            | Ok () ->
+              Fmt.pr "%s: OK@." f;
+              true
+            | Error m ->
+              err "%s: %s" f m;
+              false)
+        files
+    in
+    if List.for_all Fun.id results then 0 else exit_internal
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate JSONL event traces and JSON bench reports (used by the CI \
+          gate to reject malformed or NaN-carrying output).")
+    Term.(const run $ verbose_t $ files_t)
+
 (* --- random workload --------------------------------------------------- *)
 
 let random_cmd =
@@ -483,6 +575,7 @@ let main =
       pipeline_cmd;
       faults_cmd;
       random_cmd;
+      trace_check_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -31,4 +31,16 @@ echo "FIG1 smoke time: ${fig1_time}s (ceiling 60s)"
 awk -v t="$fig1_time" 'BEGIN { exit !(t > 0 && t < 60.0) }' || {
   echo "FAIL: FIG1 smoke took ${fig1_time}s (ceiling 60s)"; exit 1; }
 
+echo "== trace smoke (structured JSONL events) =="
+# A tiny traced solve end-to-end, then validate every machine-readable
+# artifact: the solve trace, the bench FIG1 trace, and all BENCH_*.json
+# files. trace-check parses each line/document with a strict JSON reader
+# (NaN/Infinity are not JSON and are rejected) and checks per-domain
+# timestamp monotonicity on .jsonl traces.
+timeout 120 ./_build/default/bin/letdma_cli.exe solve \
+  --time-limit 5 --jobs 1 --trace ci_trace.jsonl >/dev/null
+./_build/default/bin/letdma_cli.exe trace-check \
+  ci_trace.jsonl BENCH_FIG1_TRACE.jsonl BENCH_*.json
+rm -f ci_trace.jsonl
+
 echo "== ci.sh: all green =="

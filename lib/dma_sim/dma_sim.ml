@@ -3,6 +3,7 @@
     VCD waveform export. *)
 
 module Faults = Faults
+module Obs_bridge = Obs_bridge
 module Robustness = Robustness
 module Sim = Sim
 module Trace = Trace

@@ -1,0 +1,44 @@
+open Rt_model
+
+(* Bridge the simulator's {!Trace.event} stream into the structured
+   observability sink, so one JSONL file covers solve -> schedule ->
+   simulation. Events are bridged after the (deterministic) simulation
+   run, in simulated-time order; the wall-clock "ts" stamps when the
+   bridge ran, while the simulated instants travel in "args" as
+   nanoseconds. *)
+
+let span_fields start finish =
+  [
+    ("start_ns", Obs.Int (Time.to_ns start));
+    ("finish_ns", Obs.Int (Time.to_ns finish));
+  ]
+
+let emit app events =
+  if Obs.enabled () then
+    List.iter
+      (fun e ->
+        match e with
+        | Trace.Dma_program { core; index; start; finish } ->
+          Obs.point ~cat:"sim" "dma_program"
+            (("core", Obs.Int core) :: ("index", Obs.Int index)
+            :: span_fields start finish)
+        | Trace.Dma_copy { index; labels; bytes; start; finish } ->
+          Obs.point ~cat:"sim" "dma_copy"
+            (("index", Obs.Int index)
+            :: ("labels", Obs.Int (List.length labels))
+            :: ("bytes", Obs.Int bytes)
+            :: span_fields start finish)
+        | Trace.Dma_isr { core; index; start; finish } ->
+          Obs.point ~cat:"sim" "dma_isr"
+            (("core", Obs.Int core) :: ("index", Obs.Int index)
+            :: span_fields start finish)
+        | Trace.Cpu_copy { core; comm = _; start; finish } ->
+          Obs.point ~cat:"sim" "cpu_copy"
+            (("core", Obs.Int core) :: span_fields start finish)
+        | Trace.Task_ready { task; time } ->
+          Obs.point ~cat:"sim" "task_ready"
+            [
+              ("task", Obs.Str (App.task app task).Task.name);
+              ("time_ns", Obs.Int (Time.to_ns time));
+            ])
+      (Trace.sort_events events)

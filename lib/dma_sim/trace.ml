@@ -75,23 +75,29 @@ let render_gantt ?(width = 100) app events =
     let span = max 1 Time.(t_max - t_min) in
     let col t = (Time.( - ) t t_min) * (width - 1) / span in
     let n_cores = (App.platform app).Platform.n_cores in
-    let lanes = Array.make (n_cores + 1) (Bytes.make width ' ') in
-    for i = 0 to n_cores do
-      lanes.(i) <- Bytes.make width ' '
-    done;
+    let lanes = Array.init (n_cores + 1) (fun _ -> Bytes.make width ' ') in
     let paint lane c0 c1 ch =
-      for c = max 0 c0 to min (width - 1) (max c0 c1) do
+      (* empty when c1 < c0: zero-width spans paint nothing *)
+      for c = max 0 c0 to min (width - 1) c1 do
         Bytes.set lanes.(lane) c ch
       done
+    in
+    (* [start, finish) half-open: a span never paints the cell holding its
+       finish instant, so back-to-back transfers don't visually overlap. A
+       zero-duration span (instantaneous DMA program) paints nothing; a
+       nonzero one shorter than a cell still shows its one cell. *)
+    let paint_span lane s f ch =
+      if Time.compare f s > 0 then
+        paint lane (col s) (max (col s) (col f - 1)) ch
     in
     List.iter
       (fun e ->
         match e with
-        | Dma_program { start; finish; _ } -> paint 0 (col start) (col finish - 1) 'p'
-        | Dma_copy { start; finish; _ } -> paint 0 (col start) (col finish - 1) '='
-        | Dma_isr { start; finish; _ } -> paint 0 (col start) (col finish - 1) 'i'
+        | Dma_program { start; finish; _ } -> paint_span 0 start finish 'p'
+        | Dma_copy { start; finish; _ } -> paint_span 0 start finish '='
+        | Dma_isr { start; finish; _ } -> paint_span 0 start finish 'i'
         | Cpu_copy { core; start; finish; _ } ->
-          paint (core + 1) (col start) (col finish - 1) '='
+          paint_span (core + 1) start finish '='
         | Task_ready { task; time } ->
           let lane = App.core_of app task + 1 in
           paint lane (col time) (col time) '^')

@@ -140,7 +140,15 @@ let run_config ?(cpu_model = Sim.Parallel_phases) ?(solver = Heuristic)
          let metrics =
            List.map
              (fun a ->
-               (a, Baselines.run ~cpu_model app groups a ~solution:(Some solution)))
+               (* when tracing, record the Proposed run's simulator
+                  timeline and bridge it into the event sink *)
+               let record_trace = Obs.enabled () && a = Baselines.Proposed in
+               let m =
+                 Baselines.run ~record_trace ~cpu_model app groups a
+                   ~solution:(Some solution)
+               in
+               if record_trace then Obs_bridge.emit app m.Sim.trace;
+               (a, m))
              Baselines.all_approaches
          in
          Ok

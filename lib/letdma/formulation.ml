@@ -356,6 +356,17 @@ let add_c2_c3 inst =
       end)
     inst.rg
 
+(* Hash-table iteration order depends on internal layout, not on the
+   model; emitting constraints (or decoding chains) in that order would
+   make the constraint order — and with it the simplex trajectory and
+   branch-and-bound node counts — vary between builds of the very same
+   instance. Every iteration over a keyed table below goes through its
+   sorted bindings instead. *)
+let sorted_bindings tbl =
+  List.sort
+    (fun (k1, _) (k2, _) -> compare k1 k2)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
 (* Constraints 4 and 5: each memory's labels form a single chain from the
    bottom dummy to the top dummy, with consistent positions. *)
 let add_c4_c5 inst =
@@ -392,8 +403,8 @@ let add_c4_c5 inst =
           end)
         nodes;
       (* position linking (MTZ): next(a,b) = 1 => PL_b = PL_a + 1 *)
-      Hashtbl.iter
-        (fun (mi', a, b) v ->
+      List.iter
+        (fun ((mi', a, b), v) ->
           if mi' = mi then begin
             let pa = Hashtbl.find inst.pl_var (mi, a) in
             let pb = Hashtbl.find inst.pl_var (mi, b) in
@@ -401,7 +412,7 @@ let add_c4_c5 inst =
             P.add_implies_ge ~name:(Fmt.str "C5a_%d" v) ~m:bigm p v diff 1.0;
             P.add_implies_le ~name:(Fmt.str "C5b_%d" v) ~m:bigm p v diff 1.0
           end)
-        inst.next_var)
+        (sorted_bindings inst.next_var))
     inst.mem_labels
 
 (* Constraints 7 and 8: LET ordering at s0. *)
@@ -694,12 +705,13 @@ let make ?options objective app groups ~gamma =
 (* --- decoding --------------------------------------------------------- *)
 
 let chain_order inst x mi =
+  let bindings = sorted_bindings inst.next_var in
   let rec follow acc node =
     let nexts =
-      Hashtbl.fold
-        (fun (mi', a, b) v acc ->
-          if mi' = mi && a = node && x.(v) > 0.5 then b :: acc else acc)
-        inst.next_var []
+      List.filter_map
+        (fun ((mi', a, b), v) ->
+          if mi' = mi && a = node && x.(v) > 0.5 then Some b else None)
+        bindings
     in
     match nexts with
     | [ Top ] -> List.rev acc
@@ -803,8 +815,8 @@ let encode inst (sol : Solution.t) =
       (* Constraint 6 auxiliaries (present when C6 blocks have been
          generated): LG_{star,z,g} is the exact conjunction of the two
          adjacency literals and CG_{z,g} *)
-      Hashtbl.iter
-        (fun (star, z, g) v ->
+      List.iter
+        (fun ((star, z, g), v) ->
           let c = inst.comms.(z) in
           let lz = c.Comm.label in
           let in_slot =
@@ -822,7 +834,7 @@ let encode inst (sol : Solution.t) =
               && adj (Platform.Local (Comm.local_core inst.app c))
             then x.(v) <- 1.0
           end)
-        inst.lg_memo;
+        (sorted_bindings inst.lg_memo);
       (* Constraint 10 auxiliaries: exactly the max slot index among their
          relevant communications *)
       List.iter

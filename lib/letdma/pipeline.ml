@@ -170,6 +170,13 @@ let run ?(milp_solve = default_milp_solve) ?(objective = Formulation.No_obj)
           if not accepted then
             Log.info (fun f ->
                 f "rung %s rejected: %s (%.2fs)" (rung_name rung) reason time_s);
+          Obs.point ~cat:"pipeline" "rung"
+            [
+              ("rung", Obs.Str (rung_name rung));
+              ("accepted", Obs.Bool accepted);
+              ("reason", Obs.Str reason);
+              ("time_s", Obs.Float time_s);
+            ];
           Mutex.protect attempts_m (fun () ->
               attempts := { rung; accepted; reason; time_s } :: !attempts)
         in
@@ -190,6 +197,7 @@ let run ?(milp_solve = default_milp_solve) ?(objective = Formulation.No_obj)
         (* one MILP rung: solve against [gamma_solve], then re-certify the
            result against the ORIGINAL gamma, never trusting the hook *)
         let try_milp rung ~engine ~jobs ~cancel ~gamma_solve ~warm =
+          Obs.span ~cat:"pipeline" (rung_name rung) @@ fun () ->
           let ta = Milp.Clock.now () in
           let r =
             milp_solve ~deadline_s:deadline ~engine ~jobs ~presolve ~cancel
@@ -217,6 +225,7 @@ let run ?(milp_solve = default_milp_solve) ?(objective = Formulation.No_obj)
         in
         (* heuristic/baseline rung: certify a directly-constructed plan *)
         let try_direct rung source sol_opt =
+          Obs.span ~cat:"pipeline" (rung_name rung) @@ fun () ->
           let ta = Milp.Clock.now () in
           match sol_opt with
           | None ->

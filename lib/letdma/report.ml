@@ -91,7 +91,12 @@ let fig2_csv ppf app results =
   List.iter
     (fun ((alpha, objective), res) ->
       match res with
-      | Error _ -> ()
+      | Error e ->
+        (* a failed cell must stay distinguishable from one never run:
+           comment line, so CSV consumers skip it without guessing *)
+        Fmt.pf ppf "# FAILED alpha=%.1f objective=%s reason=%s@." alpha
+          (Formulation.objective_name objective)
+          (Experiment.error_to_string e)
       | Ok (r : Experiment.config_result) ->
         List.iter
           (fun (t : Task.t) ->

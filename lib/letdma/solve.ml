@@ -66,6 +66,7 @@ let bb_solve ~jobs ~cancel ~presolve engine =
           should_stop = (fun () -> Parallel.Pool.Token.cancelled tok);
         }
     in
+    let hooks = Obs.Solver_hooks.wrap hooks in
     match engine with
     | Dfs -> fun ~deadline ~node_limit ?incumbent p ->
         Milp.Dfs_solver.solve ~deadline ~node_limit ?incumbent ~hooks ~presolve p
@@ -136,6 +137,8 @@ let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
       (None, Milp.Branch_bound.Unknown, None, round - 1)
     else begin
       let bb =
+        Obs.span ~cat:"solver" "round" ~fields:[ ("round", Obs.Int round) ]
+        @@ fun () ->
         bb_solve ~jobs ~cancel ~presolve engine ~deadline ~node_limit
           ?incumbent:(encode_warm ()) inst.Formulation.problem
       in

@@ -84,6 +84,7 @@ type hooks = {
   should_stop : unit -> bool;
   on_incumbent : obj:float -> float array -> unit;
   get_incumbent : unit -> (float * float array) option;
+  on_node : node:int -> depth:int -> bound:float option -> pivots:int -> unit;
 }
 
 let no_hooks =
@@ -91,6 +92,7 @@ let no_hooks =
     should_stop = (fun () -> false);
     on_incumbent = (fun ~obj:_ _ -> ());
     get_incumbent = (fun () -> None);
+    on_node = (fun ~node:_ ~depth:_ ~bound:_ ~pivots:_ -> ());
   }
 
 (* Deterministic per-(variable, seed) jitter in [0, 1) used to diversify
@@ -367,11 +369,20 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
             hi.(j) <- Float.min hi.(j) h)
           node.overrides;
         incr simplex_solves;
+        let pivots_before = cnt.Simplex_core.pivots + cnt.Simplex_core.dual_pivots in
         let lp_t0 = Clock.now () in
         let lp_result =
           Simplex.solve ~pricing ~counters:cnt ~deadline ~bounds:(lo, hi) p
         in
         lp_time := !lp_time +. (Clock.now () -. lp_t0);
+        hooks.on_node ~node:!nodes ~depth:node.depth
+          ~bound:
+            (match lp_result with
+             | Simplex.Optimal { obj; _ } -> Some obj
+             | _ -> None)
+          ~pivots:
+            (cnt.Simplex_core.pivots + cnt.Simplex_core.dual_pivots
+             - pivots_before);
         (match lp_result with
          | Simplex.Infeasible ->
            if node.depth = 0 then root_infeasible := true

@@ -77,7 +77,13 @@ type solution = {
       problem's own sense;
     - [get_incumbent] is polled at every node; returning [Some (obj, x)]
       strictly better than the local incumbent tightens the cutoff (the
-      array is copied before being stored).
+      array is copied before being stored);
+    - [on_node] fires once per explored node, after its LP relaxation:
+      [node] is the 1-based exploration index, [depth] the node's depth,
+      [bound] the LP relaxation objective ([None] if the LP was
+      infeasible/unbounded/cut off), [pivots] the simplex pivots (primal
+      + dual) that LP solve cost. Observability taps (see [Obs]) hang
+      off this callback; [no_hooks] makes it free.
 
     Objectives flow through the hooks in the problem's original
     (min/max) sense. *)
@@ -85,6 +91,7 @@ type hooks = {
   should_stop : unit -> bool;
   on_incumbent : obj:float -> float array -> unit;
   get_incumbent : unit -> (float * float array) option;
+  on_node : node:int -> depth:int -> bound:float option -> pivots:int -> unit;
 }
 
 (** Inert hooks: never stop, publish nowhere, import nothing. *)

@@ -34,6 +34,7 @@ type state = {
   pricing : Simplex_core.pricing;
   cnt : Simplex_core.counters;
   mutable lp_time : float; (* wall-clock inside the LP kernel *)
+  mutable last_pivots : int; (* counter snapshot for per-node on_node deltas *)
   mutable nodes : int;
   mutable rebuilds : int;
   mutable best_obj : float; (* minimization sense *)
@@ -150,7 +151,7 @@ let move_bounds st var ~lo ~hi =
 
 (* The current LP is optimal; explore the subtree. [fresh] guards the
    drift-recovery rebuild against recursing forever. *)
-let rec explore ?(fresh = false) st =
+let rec explore ?(fresh = false) ?(depth = 0) st =
   st.nodes <- st.nodes + 1;
   if st.nodes > st.node_limit || Clock.now () > st.deadline then
     raise Limit_reached;
@@ -165,6 +166,13 @@ let rec explore ?(fresh = false) st =
        st.cutoff_foreign <- true;
        Log.debug (fun f -> f "dfs: imported foreign incumbent obj=%g" obj)
      end);
+  (* pivots charged to this node: everything spent since the previous one
+     (the dual repair / rebuild that reached this node's LP optimum) *)
+  let pv = st.cnt.Simplex_core.pivots + st.cnt.Simplex_core.dual_pivots in
+  st.hooks.Branch_bound.on_node ~node:st.nodes ~depth
+    ~bound:(Some (Simplex_core.objective_value st.tb))
+    ~pivots:(pv - st.last_pivots);
+  st.last_pivots <- pv;
   let obj_min = st.sense *. Simplex_core.objective_value st.tb in
   if obj_min >= st.best_obj -. 1.0e-9 then begin
     if st.cutoff_foreign then st.foreign_prunes <- st.foreign_prunes + 1
@@ -206,7 +214,7 @@ let rec explore ?(fresh = false) st =
         end
         else begin
           st.nodes <- st.nodes - 1;
-          if rebuild st then explore ~fresh:true st
+          if rebuild st then explore ~fresh:true ~depth st
         end
     end
     else begin
@@ -230,7 +238,7 @@ let rec explore ?(fresh = false) st =
         let lo, hi = side () in
         (* prune by bound before paying the dual repair? the repair is the
            bound computation, so just do it *)
-        if move_bounds st j ~lo ~hi then explore st
+        if move_bounds st j ~lo ~hi then explore ~depth:(depth + 1) st
       in
       let restore () =
         if not (move_bounds st j ~lo:saved_lo ~hi:saved_hi) then
@@ -374,6 +382,7 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 2_000_000)
            pricing;
            cnt;
            lp_time = 0.0;
+           last_pivots = cnt.Simplex_core.pivots + cnt.Simplex_core.dual_pivots;
            nodes = 0;
            rebuilds = 0;
            best_obj = infinity;

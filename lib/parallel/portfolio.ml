@@ -197,6 +197,16 @@ let solve ?pool ?jobs ?configs ?(deterministic = false) ?cancel ?deadline
     match cancel with Some c -> Pool.Token.cancelled c | None -> false
   in
   let run_one i cfg =
+    Obs.span ~cat:"portfolio" "worker"
+      ~fields:
+        [
+          ("name", Obs.Str cfg.name);
+          ("engine", Obs.Str (engine_name cfg.engine));
+          ("seed", Obs.Int cfg.branch_seed);
+          ("warm", Obs.Bool cfg.use_warm);
+          ("pricing", Obs.Str (Milp.Simplex.pricing_name cfg.pricing));
+        ]
+    @@ fun () ->
     let local_imported = ref 0 and local_published = ref 0 in
     let last = ref None in
     let hooks =
@@ -224,7 +234,9 @@ let solve ?pool ?jobs ?configs ?(deterministic = false) ?cancel ?deadline
                   if Atomic.compare_and_set cell cur next then begin
                     last := next;
                     incr local_published;
-                    Atomic.incr published
+                    Atomic.incr published;
+                    Obs.point ~cat:"portfolio" "publish"
+                      [ ("worker", Obs.Str cfg.name); ("obj", Obs.Float obj) ]
                   end
                   else publish ()
                 end
@@ -241,10 +253,17 @@ let solve ?pool ?jobs ?configs ?(deterministic = false) ?cancel ?deadline
                 | Some _ as found ->
                   incr local_imported;
                   Atomic.incr imported;
+                  (match found with
+                   | Some (o, _) ->
+                     Obs.point ~cat:"portfolio" "import"
+                       [ ("worker", Obs.Str cfg.name); ("obj", Obs.Float o) ]
+                   | None -> ());
                   found
               end);
+          on_node = Milp.Branch_bound.no_hooks.Milp.Branch_bound.on_node;
         }
     in
+    let hooks = Obs.Solver_hooks.wrap ~worker:cfg.name hooks in
     let inc = if cfg.use_warm then incumbent else None in
     let sol =
       match cfg.engine with
@@ -258,10 +277,16 @@ let solve ?pool ?jobs ?configs ?(deterministic = false) ?cancel ?deadline
           ~presolve:false p
     in
     if (not deterministic) && conclusive sol.Milp.Branch_bound.status then begin
-      if Atomic.compare_and_set winner (-1) i then
+      if Atomic.compare_and_set winner (-1) i then begin
         Log.info (fun f ->
             f "%s finished conclusively (%s); cancelling the rest" cfg.name
               (status_name sol.Milp.Branch_bound.status));
+        Obs.point ~cat:"portfolio" "cancel"
+          [
+            ("winner", Obs.Str cfg.name);
+            ("status", Obs.Str (status_name sol.Milp.Branch_bound.status));
+          ]
+      end;
       Pool.Token.cancel token
     end;
     (sol, !local_imported, !local_published)

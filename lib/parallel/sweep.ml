@@ -28,21 +28,40 @@ let map ?pool ?jobs ?deadline f items =
   with_p @@ fun pl ->
   let jobs = Pool.jobs pl in
   let unstarted = Atomic.make (List.length items) in
+  (* Items that never ran (pool machinery failure: submission on a dead
+     pool, a lost future) still get a well-defined deadline — the global
+     one they would have carved from. A NaN here would poison downstream
+     reports and serialize as invalid JSON. *)
+  let fallback = match deadline with Some g -> g | None -> infinity in
   let futures =
     List.map
       (fun item ->
-        Pool.async pl (fun () ->
-            let d = carve ~global:deadline ~unstarted ~jobs in
-            let t0 = Milp.Clock.now () in
-            let result = try Ok (f ~deadline:d item) with e -> Error e in
-            (result, d, Milp.Clock.now () -. t0)))
+        try
+          Ok
+            (Pool.async pl (fun () ->
+                 let d = carve ~global:deadline ~unstarted ~jobs in
+                 Obs.point ~cat:"sweep" "carve"
+                   [
+                     ("deadline_s", Obs.Float d);
+                     ("budget_s", Obs.Float (d -. Milp.Clock.now ()));
+                   ];
+                 let t0 = Milp.Clock.now () in
+                 let result =
+                   Obs.span ~cat:"sweep" "item" (fun () ->
+                       try Ok (f ~deadline:d item) with e -> Error e)
+                 in
+                 (result, d, Milp.Clock.now () -. t0)))
+        with e -> Error e)
       items
   in
   List.map2
     (fun item fut ->
-      match Pool.await fut with
-      | Ok (result, deadline, time_s) -> { item; result; deadline; time_s }
-      | Error e ->
-        (* can only happen if the pool machinery itself failed *)
-        { item; result = Error e; deadline = nan; time_s = 0.0 })
+      match fut with
+      | Error e -> { item; result = Error e; deadline = fallback; time_s = 0.0 }
+      | Ok fut -> (
+        match Pool.await fut with
+        | Ok (result, deadline, time_s) -> { item; result; deadline; time_s }
+        | Error e ->
+          (* pool machinery itself failed *)
+          { item; result = Error e; deadline = fallback; time_s = 0.0 }))
     items futures

@@ -27,7 +27,10 @@ type ('a, 'b) outcome = {
       ones. Without [deadline] every item gets [infinity].
 
     Item exceptions are funneled into their outcome ([Error]); one
-    crashing instance never aborts the sweep. *)
+    crashing instance never aborts the sweep. If the pool machinery
+    itself fails (e.g. submission on a shut-down pool), the outcome is
+    [Error] with the global deadline (or [infinity]) recorded — the
+    [deadline] field is always well-defined, never NaN. *)
 val map :
   ?pool:Pool.t ->
   ?jobs:int ->

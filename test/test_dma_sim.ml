@@ -254,6 +254,46 @@ let test_trace_recording () =
   check_int "gantt lines" 4
     (List.length (String.split_on_char '\n' (String.trim gantt)))
 
+(* Regression (PR 4): the Gantt renderer clamped every span to at least
+   one cell ([max c0 c1]), so zero-duration events were painted one cell
+   wide — an instantaneous DMA program looked like real bus occupancy.
+   Zero-width spans must paint nothing; instantaneous [Task_ready] marks
+   keep their one-cell [^]; and each lane must have its own backing
+   buffer (the init was once duplicated, aliasing rows). *)
+let test_gantt_zero_width () =
+  let app = fixture () in
+  let t = Time.of_us 10 in
+  (* zero-duration program on the DMA lane + a ready mark on core 1 *)
+  let events =
+    [
+      Trace.Dma_program { core = 0; index = 0; start = t; finish = t };
+      Trace.Task_ready { task = 1; time = Time.of_us 20 };
+    ]
+  in
+  let gantt = Trace.render_gantt ~width:40 app events in
+  let lines = String.split_on_char '\n' (String.trim gantt) in
+  (* header + DMA lane + one lane per core *)
+  check_int "gantt lines" 4 (List.length lines);
+  let lane prefix =
+    match List.find_opt (fun l -> String.length l >= 3 && String.sub l 0 3 = prefix) lines with
+    | Some l -> l
+    | None -> Alcotest.fail ("missing lane " ^ prefix)
+  in
+  check_bool "zero-width program paints nothing" false
+    (String.contains (lane "DMA") 'p');
+  check_bool "ready mark still painted" true (String.contains (lane "P2 ") '^');
+  check_bool "lanes do not alias" false (String.contains (lane "P1 ") '^');
+  (* a span shorter than one cell still shows its cell *)
+  let events =
+    [
+      Trace.Dma_program
+        { core = 0; index = 0; start = t; finish = Time.(t + of_ns 1) };
+      Trace.Task_ready { task = 1; time = Time.of_us 20 };
+    ]
+  in
+  let gantt = Trace.render_gantt ~width:40 app events in
+  check_bool "sub-cell span shows one cell" true (String.contains gantt 'p')
+
 let test_vcd_export () =
   let app = fixture () in
   let groups = Groups.compute app in
@@ -624,6 +664,8 @@ let () =
         [
           Alcotest.test_case "recording" `Quick test_trace_recording;
           Alcotest.test_case "off by default" `Quick test_no_trace_by_default;
+          Alcotest.test_case "zero-width spans paint nothing" `Quick
+            test_gantt_zero_width;
           Alcotest.test_case "vcd export" `Quick test_vcd_export;
           Alcotest.test_case "vcd cpu mode" `Quick test_vcd_cpu_mode;
         ] );

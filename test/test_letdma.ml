@@ -71,6 +71,70 @@ let test_formulation_build () =
        (Fmt.str "%a" Milp.Problem.pp_issue)
        (Milp.Problem.validate inst.Formulation.problem))
 
+(* Regression (PR 4): the MTZ position-linking rows (C5a/C5b) were
+   emitted in [Hashtbl.iter] order, so the constraint sequence — and with
+   it the simplex pivot trajectory and branch-and-bound node count — was
+   hash-layout-dependent. The formulation now iterates sorted bindings:
+   within each memory the C5a rows must appear in ascending
+   (mem, pred, succ) key order, two builds of the same instance must
+   produce identical constraint-name sequences, and two cold solves must
+   explore identical node counts. *)
+let test_formulation_deterministic_order () =
+  let app = fixture () in
+  let groups = Groups.compute app in
+  let gamma = gamma_for app 0.3 in
+  let build () = Formulation.make Formulation.No_obj app groups ~gamma in
+  let inst = build () in
+  (* recover each C5a row's (mem, pred, succ) key from its variable id *)
+  let rev = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun k v -> Hashtbl.replace rev v k)
+    inst.Formulation.next_var;
+  let prefix = "C5a_" in
+  let plen = String.length prefix in
+  let keys = ref [] in
+  Milp.Problem.iter_constrs
+    (fun c ->
+      let n = c.Milp.Problem.c_name in
+      if String.length n > plen && String.sub n 0 plen = prefix then
+        match int_of_string_opt (String.sub n plen (String.length n - plen)) with
+        | Some v -> (
+          match Hashtbl.find_opt rev v with
+          | Some k -> keys := k :: !keys
+          | None -> ())
+        | None -> ())
+    inst.Formulation.problem;
+  let keys = List.rev !keys in
+  check_bool "fixture has MTZ rows" true (keys <> []);
+  let by_mem = Hashtbl.create 4 in
+  List.iter
+    (fun ((mi, _, _) as k) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_mem mi) in
+      Hashtbl.replace by_mem mi (k :: prev))
+    keys;
+  Hashtbl.iter
+    (fun _ ks ->
+      let ks = List.rev ks in
+      check_bool "C5a keys ascending per memory" true
+        (ks = List.sort compare ks))
+    by_mem;
+  let names inst =
+    let acc = ref [] in
+    Milp.Problem.iter_constrs
+      (fun c -> acc := c.Milp.Problem.c_name :: !acc)
+      inst.Formulation.problem;
+    List.rev !acc
+  in
+  Alcotest.(check (list string))
+    "same constraint sequence across builds" (names inst) (names (build ()));
+  (* cold solves: a warm incumbent would shortcut NO-OBJ with 0 nodes *)
+  let solve () =
+    (Solve.solve ~time_limit_s:20.0 Formulation.No_obj app groups ~gamma)
+      .Solve.stats
+      .Solve.nodes
+  in
+  check_int "same node count across solves" (solve ()) (solve ())
+
 let test_formulation_gmax_too_small () =
   let app = fixture () in
   let groups = Groups.compute app in
@@ -562,6 +626,23 @@ let test_report_rendering () =
     let table = Fmt.str "%a" Report.table1 (Experiment.table1_of_results results) in
     check_bool "table has status" true (contains table "heuristic")
 
+(* Regression (PR 4): [fig2_csv] silently dropped Error configurations,
+   so a failed solve left no trace in the exported CSV. A failed config
+   now emits an auditable "# FAILED ..." comment line. *)
+let test_fig2_csv_failed_line () =
+  let app = fixture () in
+  let results =
+    [
+      ( (0.4, Formulation.Min_transfers),
+        Error (Experiment.No_solution { alpha = 0.4; solver_name = "milp" }) );
+    ]
+  in
+  let csv = Fmt.str "%a" (fun ppf -> Report.fig2_csv ppf app) results in
+  check_bool "has a FAILED comment" true (contains csv "# FAILED alpha=0.4");
+  check_bool "names the objective" true (contains csv "objective=OBJ-DMAT");
+  check_bool "carries the reason" true
+    (contains csv "solver found no feasible plan")
+
 let test_experiment_table1_rows () =
   let app = fixture () in
   let results =
@@ -889,6 +970,8 @@ let () =
       ( "formulation",
         [
           Alcotest.test_case "build" `Quick test_formulation_build;
+          Alcotest.test_case "deterministic constraint order" `Slow
+            test_formulation_deterministic_order;
           Alcotest.test_case "g_max too small" `Quick test_formulation_gmax_too_small;
           Alcotest.test_case "same-core readers rejected" `Quick
             test_formulation_rejects_same_core_readers;
@@ -968,6 +1051,8 @@ let () =
           Alcotest.test_case "no communications" `Quick test_experiment_no_comms;
           Alcotest.test_case "table1 rows" `Quick test_experiment_table1_rows;
           Alcotest.test_case "report rendering" `Quick test_report_rendering;
+          Alcotest.test_case "fig2 csv keeps failed configs" `Quick
+            test_fig2_csv_failed_line;
         ] );
       ("properties", qsuite);
     ]

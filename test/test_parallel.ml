@@ -238,6 +238,35 @@ let test_sweep_deadline_carving () =
       | Error e -> raise e)
     outs
 
+(* Regression (PR 4): the pool-failure branch stamped [deadline = nan]
+   into the outcome (global -. now misapplied), poisoning any downstream
+   arithmetic. A submission failure must record the carved/global
+   deadline instead — always well-defined, never NaN. *)
+let test_sweep_dead_pool_deadline () =
+  let dead = Pool.create ~jobs:1 () in
+  Pool.shutdown dead;
+  let global = Milp.Clock.deadline_of ~limit_s:60.0 in
+  let outs =
+    Sweep.map ~pool:dead ~deadline:global (fun ~deadline:_ x -> x) [ 1; 2; 3 ]
+  in
+  check_int "every item has an outcome" 3 (List.length outs);
+  List.iter
+    (fun (o : _ Sweep.outcome) ->
+      check_bool "submission failure funneled" true
+        (Result.is_error o.Sweep.result);
+      check_bool "deadline is not NaN" false (Float.is_nan o.Sweep.deadline);
+      check_bool "records the global deadline" true
+        (o.Sweep.deadline = global))
+    outs;
+  (* without a global deadline the fallback is [infinity], still not NaN *)
+  let dead = Pool.create ~jobs:1 () in
+  Pool.shutdown dead;
+  let outs = Sweep.map ~pool:dead (fun ~deadline:_ x -> x) [ 1 ] in
+  List.iter
+    (fun (o : _ Sweep.outcome) ->
+      check_bool "unbounded fallback" true (o.Sweep.deadline = infinity))
+    outs
+
 (* ------------------------------------------------------------------ *)
 (* End to end: Solve.solve ?jobs on WATERS, certified both ways        *)
 (* ------------------------------------------------------------------ *)
@@ -366,6 +395,8 @@ let () =
             test_sweep_map_and_funnel;
           Alcotest.test_case "deadline carving" `Quick
             test_sweep_deadline_carving;
+          Alcotest.test_case "dead pool keeps deadline finite" `Quick
+            test_sweep_dead_pool_deadline;
         ] );
       ( "end-to-end",
         [
