@@ -19,6 +19,8 @@
      PRICING       — Dantzig vs devex vs Bland pricing on the TABLE1 /
                      SCALING LP relaxations and whole searches, plus
                      presolve-on/off end-to-end deltas
+     WARMSTART     — cold vs warm-basis branch-and-bound node
+                     reoptimization (the ci.sh pivot-reduction guard)
      ROBUSTNESS    — certifier overhead per solve, fault-injection sweep,
                      and the degradation ladder end to end
      MICRO         — Bechamel timings of the pipeline kernels
@@ -664,6 +666,130 @@ let pricing_section () =
   emit "presolve" (Json.List (List.rev !pre_rows))
 
 (* ------------------------------------------------------------------ *)
+(* WARMSTART: cold vs warm-basis node reoptimization                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Cold ([basis_pool:0]) vs warm (default pool) best-first branch-and-
+   bound at jobs=1 on the WATERS OBJ-DMAT model — each of its node LPs
+   costs seconds from scratch, so this is exactly where parent-basis
+   dual reoptimization pays. Both runs receive the same heuristic warm
+   incumbent and the same node budget, so they are comparable point for
+   point; ci.sh asserts identical final objectives with >= 25% fewer
+   total pivots (primal + dual) for the warm run. A small random
+   instance the solver finishes rides along for the optimal-vs-optimal
+   comparison. *)
+let warmstart_section () =
+  section "WARMSTART: cold vs warm-basis B&B node reoptimization (jobs=1)";
+  let rows = ref [] in
+  let status_name = function
+    | Milp.Branch_bound.Optimal -> "optimal"
+    | Milp.Branch_bound.Feasible -> "feasible(limit)"
+    | Milp.Branch_bound.Infeasible -> "infeasible"
+    | Milp.Branch_bound.Unbounded -> "unbounded"
+    | Milp.Branch_bound.Unknown -> "unknown"
+  in
+  let compare_runs iname ?incumbent ?(node_limit = 200_000) ?(presolve = true)
+      ~limit_s p =
+    Fmt.pr "    %s (%d vars x %d rows, node budget %d):@." iname
+      (Milp.Problem.num_vars p) (Milp.Problem.num_constrs p) node_limit;
+    let run mode ~basis_pool =
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Milp.Branch_bound.solve ~time_limit_s:limit_s ~node_limit ?incumbent
+          ~presolve ~basis_pool p
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      let st = r.Milp.Branch_bound.stats in
+      let lp = st.Milp.Branch_bound.lp in
+      let total =
+        lp.Milp.Branch_bound.lp_pivots + lp.Milp.Branch_bound.lp_dual_pivots
+      in
+      Fmt.pr
+        "      %-4s: %-15s %4d nodes  %7d pivots (%d dual)  hits=%d \
+         misses=%d saved=%d evicted=%d  %7.3fs@."
+        mode
+        (status_name r.Milp.Branch_bound.status)
+        st.Milp.Branch_bound.nodes total lp.Milp.Branch_bound.lp_dual_pivots
+        lp.Milp.Branch_bound.lp_warm_hits lp.Milp.Branch_bound.lp_warm_misses
+        lp.Milp.Branch_bound.lp_dual_pivots_saved
+        lp.Milp.Branch_bound.lp_basis_evictions dt;
+      rows :=
+        Json.Obj
+          [
+            ("instance", Json.Str iname);
+            ("mode", Json.Str mode);
+            ("status", Json.Str (status_name r.Milp.Branch_bound.status));
+            ("nodes", Json.Int st.Milp.Branch_bound.nodes);
+            ("pivots", Json.Int total);
+            ("dual_pivots", Json.Int lp.Milp.Branch_bound.lp_dual_pivots);
+            ("warm_hits", Json.Int lp.Milp.Branch_bound.lp_warm_hits);
+            ("warm_misses", Json.Int lp.Milp.Branch_bound.lp_warm_misses);
+            ( "pivots_saved",
+              Json.Int lp.Milp.Branch_bound.lp_dual_pivots_saved );
+            ("evictions", Json.Int lp.Milp.Branch_bound.lp_basis_evictions);
+            ( "obj",
+              match r.Milp.Branch_bound.obj with
+              | Some o -> Json.Num o
+              | None -> Json.Str "none" );
+            ("time_s", Json.Num dt);
+          ]
+        :: !rows;
+      total
+    in
+    let cold = run "cold" ~basis_pool:0 in
+    let warm = run "warm" ~basis_pool:128 in
+    if cold > 0 then
+      Fmt.pr "      warm/cold pivot ratio: %.2f (%.0f%% reduction)@."
+        (float_of_int warm /. float_of_int cold)
+        (100.0 *. (1.0 -. (float_of_int warm /. float_of_int cold)))
+  in
+  Fmt.pr "  WATERS OBJ-DMAT, node-limited (the acceptance instance):@.";
+  (let app = Workload.Waters2019.make ~labels_per_edge:1 () in
+   let groups = Groups.compute app in
+   match Rt_analysis.Sensitivity.gammas app ~alpha:0.2 with
+   | None -> Fmt.pr "    waters-x1: unschedulable@."
+   | Some s ->
+     let gamma = s.Rt_analysis.Sensitivity.gamma in
+     let inst =
+       Letdma.Formulation.make Letdma.Formulation.Min_transfers app groups
+         ~gamma
+     in
+     let incumbent =
+       Option.bind
+         (Letdma.Heuristic.solve_unchecked
+            ~granularity:Letdma.Heuristic.Grouped app groups ~gamma)
+         (Letdma.Formulation.encode inst)
+     in
+     (* presolve off for BOTH arms: its bound-shifting rescales this
+        instance so badly that basis reconstruction aborts (see the
+        damage guard in Simplex_core.restore), which would measure the
+        fallback, not the warm start. random-1 below keeps the default
+        presolve to show the two compose. *)
+     compare_runs "waters-x1/OBJ-DMAT" ?incumbent ~node_limit:5
+       ~presolve:false ~limit_s:120.0 inst.Letdma.Formulation.problem);
+  Fmt.pr "@.  random instance solved to optimality (full search):@.";
+  (let config =
+     {
+       Workload.Generator.default_config with
+       Workload.Generator.n_tasks = 4;
+       n_edges = 2;
+       max_labels_per_edge = 2;
+     }
+   in
+   let app = Workload.Generator.random ~seed:1 ~config () in
+   let groups = Groups.compute app in
+   match Rt_analysis.Sensitivity.gammas app ~alpha:0.3 with
+   | None -> Fmt.pr "    random-1: unschedulable@."
+   | Some s ->
+     let gamma = s.Rt_analysis.Sensitivity.gamma in
+     let inst =
+       Letdma.Formulation.make Letdma.Formulation.No_obj app groups ~gamma
+     in
+     compare_runs "random-1" ~limit_s:time_limit
+       inst.Letdma.Formulation.problem);
+  emit "warmstart" (Json.List (List.rev !rows))
+
+(* ------------------------------------------------------------------ *)
 (* ROBUSTNESS: certifier overhead + fault-injection sweep              *)
 (* ------------------------------------------------------------------ *)
 
@@ -908,6 +1034,10 @@ let () =
     run_section "PRICING" pricing_section;
     Fmt.pr "@.bench: pricing section completed@."
   end
+  else if Array.exists (String.equal "--warmstart") Sys.argv then begin
+    run_section "WARMSTART" warmstart_section;
+    Fmt.pr "@.bench: warmstart section completed@."
+  end
   else if Array.exists (String.equal "--parallel") Sys.argv then begin
     run_section "PARALLEL" (fun () -> parallel_section ~smoke:false app);
     Fmt.pr "@.bench: parallel section completed@."
@@ -916,6 +1046,7 @@ let () =
     run_section "FIG1" fig1;
     Option.iter fig1_trace !json_prefix;
     run_section "PARALLEL" (fun () -> parallel_section ~smoke:true app);
+    run_section "WARMSTART" warmstart_section;
     Fmt.pr "@.bench: smoke sections completed@."
   end
   else begin
@@ -931,6 +1062,7 @@ let () =
     run_section "EXT_AUTOMOTIVE" extension_automotive;
     run_section "SCALING" scaling;
     run_section "PRICING" pricing_section;
+    run_section "WARMSTART" warmstart_section;
     run_section "PARALLEL" (fun () -> parallel_section ~smoke:false app);
     run_section "ROBUSTNESS" (fun () -> robustness app);
     run_section "MICRO" (fun () -> micro app);

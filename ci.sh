@@ -31,6 +31,24 @@ echo "FIG1 smoke time: ${fig1_time}s (ceiling 60s)"
 awk -v t="$fig1_time" 'BEGIN { exit !(t > 0 && t < 60.0) }' || {
   echo "FAIL: FIG1 smoke took ${fig1_time}s (ceiling 60s)"; exit 1; }
 
+echo "== warm-start guard (WARMSTART pivots) =="
+# BENCH_WARMSTART.json (written by the smoke above) records cold vs warm
+# best-first B&B on the WATERS OBJ-DMAT instance. The warm run must land
+# on the same objective with at least 25% fewer total simplex pivots.
+ws_field() { # $1 = mode, $2 = field name
+  tr '{' '\n' < BENCH_WARMSTART.json \
+    | grep '"instance":"waters-x1/OBJ-DMAT"' \
+    | grep "\"mode\":\"$1\"" \
+    | sed -n "s/.*\"$2\":\([0-9.eE+-]*\).*/\1/p"
+}
+cold_p=$(ws_field cold pivots); warm_p=$(ws_field warm pivots)
+cold_o=$(ws_field cold obj);    warm_o=$(ws_field warm obj)
+echo "warm-start: cold ${cold_p} pivots (obj ${cold_o}), warm ${warm_p} pivots (obj ${warm_o})"
+[ -n "$cold_o" ] && [ "$cold_o" = "$warm_o" ] || {
+  echo "FAIL: warm objective '${warm_o}' != cold objective '${cold_o}'"; exit 1; }
+awk -v c="$cold_p" -v w="$warm_p" 'BEGIN { exit !(c > 0 && w <= 0.75 * c) }' || {
+  echo "FAIL: warm pivots ${warm_p} not <= 75% of cold ${cold_p}"; exit 1; }
+
 echo "== trace smoke (structured JSONL events) =="
 # A tiny traced solve end-to-end, then validate every machine-readable
 # artifact: the solve trace, the bench FIG1 trace, and all BENCH_*.json

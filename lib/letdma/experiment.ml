@@ -83,7 +83,7 @@ let best_improvement r approach =
   !best
 
 let run_config ?(cpu_model = Sim.Parallel_phases) ?(solver = Heuristic)
-    ?deadline_s app ~alpha =
+    ?deadline_s ?chain app ~alpha =
   let groups = Groups.compute app in
   if Comm.Set.is_empty (Groups.s0 groups) then Error No_communications
   else
@@ -120,10 +120,22 @@ let run_config ?(cpu_model = Sim.Parallel_phases) ?(solver = Heuristic)
               Heuristic.solve_unchecked ~granularity app groups ~gamma
             else None
           in
+          (* Adjacent sweep configurations differ only in a few bounds /
+             right-hand sides: hand the previous config's root basis to
+             this solve and leave ours behind for the next config on this
+             worker domain (see {!Parallel.Sweep.Chain}). Incompatible
+             bases are rejected by a fingerprint check inside the kernel
+             and simply fall back to the cold solve. *)
+          let root_basis = Option.bind chain Parallel.Sweep.Chain.take in
+          let basis_out = Option.map (fun _ -> ref None) chain in
           let r =
             Solve.solve ~options ~time_limit_s ?deadline_s ~node_limit ~jobs
-              ~presolve ?warm objective app groups ~gamma
+              ~presolve ?warm ?root_basis ?basis_out objective app groups
+              ~gamma
           in
+          (match (chain, basis_out) with
+           | Some c, Some { contents = Some b } -> Parallel.Sweep.Chain.put c b
+           | _ -> ());
           (r.Solve.solution, Some r.Solve.stats, r.Solve.certificate)
       in
       (match (solution, certificate) with
@@ -193,10 +205,11 @@ let fig2 ?(alphas = [ 0.2; 0.4 ])
       (fun alpha -> List.map (fun objective -> (alpha, objective)) objectives)
       alphas
   in
+  let chain = Parallel.Sweep.Chain.create () in
   run_grid ~jobs ~budget_s ~time_limit_s
     (fun ?deadline_s (alpha, objective) ->
       ((alpha, objective),
-       run_config ?cpu_model ?deadline_s
+       run_config ?cpu_model ?deadline_s ~chain
          ~solver:(milp ~time_limit_s objective) app ~alpha))
     configs
 
@@ -238,13 +251,14 @@ let table1_of_results results =
 let table1 ?(alphas = [ 0.2; 0.4 ])
     ?(objectives = [ Formulation.No_obj; Formulation.Min_transfers; Formulation.Min_delay_ratio ])
     ?(time_limit_s = 60.0) ?cpu_model app =
+  let chain = Parallel.Sweep.Chain.create () in
   List.concat_map
     (fun objective ->
       List.map
         (fun alpha ->
           match
-            run_config ?cpu_model ~solver:(milp ~time_limit_s objective) app
-              ~alpha
+            run_config ?cpu_model ~chain
+              ~solver:(milp ~time_limit_s objective) app ~alpha
           with
           | Ok r ->
             {
@@ -269,9 +283,10 @@ let table1 ?(alphas = [ 0.2; 0.4 ])
 (* The alpha sweep of Section VII: feasibility for alpha in {0.1..0.5}. *)
 let alpha_sweep ?(alphas = [ 0.1; 0.2; 0.3; 0.4; 0.5 ]) ?(time_limit_s = 60.0)
     ?(objective = Formulation.No_obj) ?cpu_model ?(jobs = 1) ?budget_s app =
+  let chain = Parallel.Sweep.Chain.create () in
   run_grid ~jobs ~budget_s ~time_limit_s
     (fun ?deadline_s alpha ->
       (alpha,
-       run_config ?cpu_model ?deadline_s
+       run_config ?cpu_model ?deadline_s ~chain
          ~solver:(milp ~time_limit_s objective) app ~alpha))
     alphas

@@ -107,6 +107,7 @@ type milp_solver =
   presolve:bool ->
   cancel:Parallel.Pool.Token.t option ->
   warm:Solution.t option ->
+  chain:Milp.Simplex_core.Basis.t option ref ->
   options:Formulation.options ->
   Formulation.objective ->
   App.t ->
@@ -114,10 +115,15 @@ type milp_solver =
   gamma:Time.t array ->
   Solve.result
 
-let default_milp_solve ~deadline_s ~engine ~jobs ~presolve ~cancel ~warm
+let default_milp_solve ~deadline_s ~engine ~jobs ~presolve ~cancel ~warm ~chain
     ~options objective app groups ~gamma =
+  (* [chain] carries the root LP basis between consecutive rungs: read it
+     as this solve's warm-start offer, leave this solve's own root basis
+     behind for the next rung (structure mismatches fall back cold inside
+     the kernel, so a stale basis costs one fingerprint check) *)
+  let root_basis = !chain in
   Solve.solve ~options ~deadline_s ~engine ~jobs ~presolve ?cancel ?warm
-    objective app groups ~gamma
+    ?root_basis ~basis_out:chain objective app groups ~gamma
 
 (* Perturbed retry: tighten every gamma by 0.1% — a solution meeting the
    tightened bound meets the original a fortiori, while the shifted
@@ -196,12 +202,12 @@ let run ?(milp_solve = default_milp_solve) ?(objective = Formulation.No_obj)
         in
         (* one MILP rung: solve against [gamma_solve], then re-certify the
            result against the ORIGINAL gamma, never trusting the hook *)
-        let try_milp rung ~engine ~jobs ~cancel ~gamma_solve ~warm =
+        let try_milp rung ~engine ~jobs ~cancel ~gamma_solve ~warm ~chain =
           Obs.span ~cat:"pipeline" (rung_name rung) @@ fun () ->
           let ta = Milp.Clock.now () in
           let r =
             milp_solve ~deadline_s:deadline ~engine ~jobs ~presolve ~cancel
-              ~warm ~options objective app groups ~gamma:gamma_solve
+              ~warm ~chain ~options objective app groups ~gamma:gamma_solve
           in
           let dt = Milp.Clock.now () -. ta in
           match r.Solve.solution with
@@ -245,8 +251,13 @@ let run ?(milp_solve = default_milp_solve) ?(objective = Formulation.No_obj)
           else None
         in
         let milp_sequential () =
+          (* back-to-back rungs share one basis chain: the perturbed model
+             differs from the primary only in its gamma right-hand sides,
+             so its root LP reoptimizes from the primary's root basis *)
+          let chain = ref None in
           match
             try_milp Milp ~engine ~jobs:1 ~cancel:None ~gamma_solve:gamma ~warm
+              ~chain
           with
           | Some acc -> Some (Milp, acc)
           | None ->
@@ -254,6 +265,7 @@ let run ?(milp_solve = default_milp_solve) ?(objective = Formulation.No_obj)
               match
                 try_milp Milp_perturbed ~engine:(flip_engine engine) ~jobs:1
                   ~cancel:None ~gamma_solve:(perturb_gamma gamma) ~warm:None
+                  ~chain
               with
               | Some acc -> Some (Milp_perturbed, acc)
               | None -> None
@@ -272,16 +284,19 @@ let run ?(milp_solve = default_milp_solve) ?(objective = Formulation.No_obj)
           Parallel.Pool.with_pool ~jobs:2 @@ fun pl ->
           let branch_jobs = max 1 (jobs / 2) in
           let cancel_perturbed = Parallel.Pool.Token.create () in
+          (* racing branches run on separate domains: each gets a private
+             chain ref — bases are never shared across domains *)
           let primary_fut =
             Parallel.Pool.async pl (fun () ->
                 try_milp Milp ~engine ~jobs:branch_jobs ~cancel:None
-                  ~gamma_solve:gamma ~warm)
+                  ~gamma_solve:gamma ~warm ~chain:(ref None))
           in
           let perturbed_fut =
             Parallel.Pool.async pl (fun () ->
                 try_milp Milp_perturbed ~engine:(flip_engine engine)
                   ~jobs:branch_jobs ~cancel:(Some cancel_perturbed)
-                  ~gamma_solve:(perturb_gamma gamma) ~warm:None)
+                  ~gamma_solve:(perturb_gamma gamma) ~warm:None
+                  ~chain:(ref None))
           in
           let primary = Parallel.Pool.await primary_fut in
           (match primary with

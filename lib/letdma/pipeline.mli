@@ -57,7 +57,13 @@ val pp_outcome : App.t -> Format.formatter -> outcome -> unit
 
 (** The MILP rung, as a replaceable hook — the default wraps
     {!Solve.solve}. Tests substitute a misbehaving solver to exercise the
-    certification-failure path of the ladder. *)
+    certification-failure path of the ladder.
+
+    [chain] is a basis hand-off cell shared by consecutive rungs on the
+    same domain: the default solver warm-starts its root LP from the
+    basis found there and deposits its own root basis for the next rung
+    (see {!Milp.Simplex_core.Basis}); replacement solvers may ignore
+    it. *)
 type milp_solver =
   deadline_s:float ->
   engine:Solve.engine ->
@@ -65,6 +71,7 @@ type milp_solver =
   presolve:bool ->
   cancel:Parallel.Pool.Token.t option ->
   warm:Solution.t option ->
+  chain:Milp.Simplex_core.Basis.t option ref ->
   options:Formulation.options ->
   Formulation.objective ->
   App.t ->

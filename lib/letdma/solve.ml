@@ -49,8 +49,10 @@ type engine = Dfs | Best_first
    includes both engines, so [engine] only selects the sequential one).
    [cancel] lets an outer racer — the pipeline running primary and
    perturbed models concurrently — abort the round between nodes. *)
-let bb_solve ~jobs ~cancel ~presolve engine =
+let bb_solve ~jobs ~cancel ~presolve ?root_basis ?basis_out ?basis_pool engine =
   if jobs > 1 then fun ~deadline ~node_limit ?incumbent p ->
+    (* portfolio workers each own a private basis pool; cross-solve basis
+       chaining is a sequential-only feature (no sharing across domains) *)
     let r =
       Parallel.Portfolio.solve ~jobs ?cancel ~deadline ~node_limit ?incumbent
         ~presolve p
@@ -69,10 +71,11 @@ let bb_solve ~jobs ~cancel ~presolve engine =
     let hooks = Obs.Solver_hooks.wrap hooks in
     match engine with
     | Dfs -> fun ~deadline ~node_limit ?incumbent p ->
-        Milp.Dfs_solver.solve ~deadline ~node_limit ?incumbent ~hooks ~presolve p
+        Milp.Dfs_solver.solve ~deadline ~node_limit ?incumbent ~hooks ~presolve
+          ?root_basis ?basis_out p
     | Best_first -> fun ~deadline ~node_limit ?incumbent p ->
         Milp.Branch_bound.solve ~deadline ~node_limit ?incumbent ~hooks
-          ~presolve p
+          ~presolve ?root_basis ?basis_out ?basis_pool p
 
 (* (pattern, class) blocks whose projected transfers break contiguity. *)
 let find_violations inst (sol : Solution.t) =
@@ -99,7 +102,8 @@ let find_violations inst (sol : Solution.t) =
 
 let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
     ?deadline_s ?(node_limit = 200_000) ?(max_rounds = 50) ?(engine = Best_first)
-    ?(jobs = 1) ?cancel ?(presolve = true) ?warm objective app groups ~gamma =
+    ?(jobs = 1) ?cancel ?(presolve = true) ?warm ?root_basis ?basis_out
+    ?basis_pool objective app groups ~gamma =
   let t0 = Milp.Clock.now () in
   (* One absolute monotonic deadline shared by every lazy round (and, via
      [deadline_s], by every rung of a degradation ladder): k rounds can
@@ -139,8 +143,9 @@ let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
       let bb =
         Obs.span ~cat:"solver" "round" ~fields:[ ("round", Obs.Int round) ]
         @@ fun () ->
-        bb_solve ~jobs ~cancel ~presolve engine ~deadline ~node_limit
-          ?incumbent:(encode_warm ()) inst.Formulation.problem
+        bb_solve ~jobs ~cancel ~presolve ?root_basis ?basis_out ?basis_pool
+          engine ~deadline ~node_limit ?incumbent:(encode_warm ())
+          inst.Formulation.problem
       in
       nodes_total := !nodes_total + bb.Milp.Branch_bound.stats.Milp.Branch_bound.nodes;
       lp_total :=
@@ -228,6 +233,7 @@ let pp_stats ppf s =
   Fmt.pf ppf
     "status=%s time=%.2fs rounds=%d nodes=%d c6=%d model=%dx%d%a@ \
      lp: pivots=%d dual-pivots=%d priced=%d refreshes=%d lp-time=%.2fs \
+     warm: hits=%d misses=%d pivots-saved=%d evictions=%d \
      presolve: rounds=%d rows-dropped=%d bounds-tightened=%d"
     (match s.status with
      | Milp.Branch_bound.Optimal -> "optimal"
@@ -240,6 +246,9 @@ let pp_stats ppf s =
     s.gap lp.Milp.Branch_bound.lp_pivots lp.Milp.Branch_bound.lp_dual_pivots
     lp.Milp.Branch_bound.lp_pricing_scanned
     lp.Milp.Branch_bound.lp_pricing_refreshes lp.Milp.Branch_bound.lp_time_s
+    lp.Milp.Branch_bound.lp_warm_hits lp.Milp.Branch_bound.lp_warm_misses
+    lp.Milp.Branch_bound.lp_dual_pivots_saved
+    lp.Milp.Branch_bound.lp_basis_evictions
     lp.Milp.Branch_bound.presolve_rounds
     lp.Milp.Branch_bound.presolve_rows_dropped
     lp.Milp.Branch_bound.presolve_bounds_tightened

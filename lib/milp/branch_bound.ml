@@ -19,6 +19,10 @@ type lp_stats = {
   lp_dual_pivots : int;
   lp_pricing_scanned : int;
   lp_pricing_refreshes : int;
+  lp_warm_hits : int;
+  lp_warm_misses : int;
+  lp_dual_pivots_saved : int;
+  lp_basis_evictions : int;
   lp_time_s : float;
   presolve_rounds : int;
   presolve_rows_dropped : int;
@@ -31,6 +35,10 @@ let lp_zero =
     lp_dual_pivots = 0;
     lp_pricing_scanned = 0;
     lp_pricing_refreshes = 0;
+    lp_warm_hits = 0;
+    lp_warm_misses = 0;
+    lp_dual_pivots_saved = 0;
+    lp_basis_evictions = 0;
     lp_time_s = 0.0;
     presolve_rounds = 0;
     presolve_rows_dropped = 0;
@@ -43,6 +51,10 @@ let lp_add a b =
     lp_dual_pivots = a.lp_dual_pivots + b.lp_dual_pivots;
     lp_pricing_scanned = a.lp_pricing_scanned + b.lp_pricing_scanned;
     lp_pricing_refreshes = a.lp_pricing_refreshes + b.lp_pricing_refreshes;
+    lp_warm_hits = a.lp_warm_hits + b.lp_warm_hits;
+    lp_warm_misses = a.lp_warm_misses + b.lp_warm_misses;
+    lp_dual_pivots_saved = a.lp_dual_pivots_saved + b.lp_dual_pivots_saved;
+    lp_basis_evictions = a.lp_basis_evictions + b.lp_basis_evictions;
     lp_time_s = a.lp_time_s +. b.lp_time_s;
     presolve_rounds = a.presolve_rounds + b.presolve_rounds;
     presolve_rows_dropped = a.presolve_rows_dropped + b.presolve_rows_dropped;
@@ -57,6 +69,10 @@ let lp_of_counters (c : Simplex_core.counters) ~lp_time_s
     lp_dual_pivots = c.Simplex_core.dual_pivots;
     lp_pricing_scanned = c.Simplex_core.pricing_scanned;
     lp_pricing_refreshes = c.Simplex_core.pricing_refreshes;
+    lp_warm_hits = c.Simplex_core.warm_hits;
+    lp_warm_misses = c.Simplex_core.warm_misses;
+    lp_dual_pivots_saved = c.Simplex_core.dual_pivots_saved;
+    lp_basis_evictions = c.Simplex_core.basis_evictions;
     lp_time_s;
     presolve_rounds = presolve.Presolve.rounds;
     presolve_rows_dropped = presolve.Presolve.rows_dropped;
@@ -80,11 +96,18 @@ type stats = {
 (* Cooperation hooks for portfolio/parallel drivers. All callbacks run on
    the solving domain; objectives are in the problem's own sense and
    solution vectors are fresh copies the callee may keep. *)
+(* Basis-pool lifecycle notifications, tapped by the observability layer:
+   a node's LP reoptimized from its parent's basis (hit), wanted to but
+   fell back to a cold solve (miss), or a pool entry was dropped under
+   memory pressure (evict). *)
+type basis_event = Warm_hit | Warm_miss | Evict
+
 type hooks = {
   should_stop : unit -> bool;
   on_incumbent : obj:float -> float array -> unit;
   get_incumbent : unit -> (float * float array) option;
   on_node : node:int -> depth:int -> bound:float option -> pivots:int -> unit;
+  on_basis : node:int -> basis_event -> unit;
 }
 
 let no_hooks =
@@ -93,6 +116,7 @@ let no_hooks =
     on_incumbent = (fun ~obj:_ _ -> ());
     get_incumbent = (fun () -> None);
     on_node = (fun ~node:_ ~depth:_ ~bound:_ ~pivots:_ -> ());
+    on_basis = (fun ~node:_ _ -> ());
   }
 
 (* Deterministic per-(variable, seed) jitter in [0, 1) used to diversify
@@ -114,6 +138,7 @@ type solution = {
 type node = {
   overrides : (int * float * float) list; (* (var, lo, hi) from root *)
   depth : int;
+  parent : int; (* basis-pool key of the parent's optimal basis; -1 none *)
 }
 
 (* Minimal binary min-heap on (priority, tie, payload). *)
@@ -192,26 +217,33 @@ end
 let feasibility_shortcut (p : Problem.t) incumbent =
   let _, obj_expr = Problem.objective p in
   match incumbent with
-  | Some x
-    when Linexpr.is_constant obj_expr
-         && Problem.check_solution ~eps:1.0e-6 p x = [] ->
-    let c = Linexpr.constant obj_expr in
-    Some
-      {
-        status = Optimal;
-        obj = Some c;
-        x = Some (Array.copy x);
-        stats =
-          {
-            nodes = 0;
-            simplex_solves = 0;
-            time_s = 0.0;
-            best_bound = c;
-            gap = Some 0.0;
-            foreign_prunes = 0;
-            lp = lp_zero;
-          };
-      }
+  | Some x when Linexpr.is_constant obj_expr ->
+    (* stamp the certification cost: checking the warm incumbent against
+       every row is the work this fast path actually performs, and the
+       historical hard-coded 0.0 made per-rung --stats totals disagree
+       with the drivers' wall clocks *)
+    let t0 = Clock.now () in
+    if Problem.check_solution ~eps:1.0e-6 p x = [] then begin
+      let c = Linexpr.constant obj_expr in
+      let time_s = Clock.now () -. t0 in
+      Some
+        {
+          status = Optimal;
+          obj = Some c;
+          x = Some (Array.copy x);
+          stats =
+            {
+              nodes = 0;
+              simplex_solves = 0;
+              time_s;
+              best_bound = c;
+              gap = Some 0.0;
+              foreign_prunes = 0;
+              lp = lp_zero;
+            };
+        }
+    end
+    else None
   | Some _ | None -> None
 
 (* [Infeasible] result proven by presolve alone (no search ran). *)
@@ -238,7 +270,7 @@ let presolved_infeasible ~sense ~time_s ~(pre : Presolve.stats) row =
 let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
     ?(int_eps = 1.0e-6) ?incumbent ?(branch_seed = 0) ?(hooks = no_hooks)
     ?(log_every = 0) ?(pricing = Simplex_core.Devex) ?(presolve = true)
-    (p0 : Problem.t) : solution =
+    ?root_basis ?basis_out ?(basis_pool = 128) (p0 : Problem.t) : solution =
   match feasibility_shortcut p0 incumbent with
   | Some early -> early
   | None ->
@@ -270,6 +302,63 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
   | Presolve.Reduced p, pre ->
   let cnt = Simplex_core.fresh_counters () in
   let lp_time = ref 0.0 in
+  (* Bounded-memory pool of parent bases, keyed by the exploring node's
+     1-based index. Every entry is born with refcount 2 (its two
+     children) and dies when both have claimed it; above [basis_pool]
+     entries the least-recently-used one is evicted (ties to the smaller
+     node id — a total order, so the victim never depends on Hashtbl
+     iteration order) and its orphaned children fall back to the cold
+     path, counted as misses. [basis_pool = 0] disables basis reuse
+     entirely (the measured cold baseline of the WARMSTART bench). *)
+  let pool : (int, Simplex_core.Basis.t * int ref * int ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let pool_size = ref 0 in
+  let pool_tick = ref 0 in
+  let nodes = ref 0 in
+  let pool_evict () =
+    let victim =
+      Hashtbl.fold
+        (fun id (_, _, last) acc ->
+          match acc with
+          | Some (bid, blast) when !last > blast || (!last = blast && id > bid)
+            ->
+            acc
+          | _ -> Some (id, !last))
+        pool None
+    in
+    match victim with
+    | None -> ()
+    | Some (id, _) ->
+      Hashtbl.remove pool id;
+      decr pool_size;
+      cnt.Simplex_core.basis_evictions <-
+        cnt.Simplex_core.basis_evictions + 1;
+      hooks.on_basis ~node:!nodes Evict
+  in
+  let pool_put id basis =
+    if basis_pool > 0 then begin
+      while !pool_size >= basis_pool do
+        pool_evict ()
+      done;
+      incr pool_tick;
+      Hashtbl.replace pool id (basis, ref 2, ref !pool_tick);
+      incr pool_size
+    end
+  in
+  let pool_take id =
+    match Hashtbl.find_opt pool id with
+    | None -> None
+    | Some (basis, refs, last) ->
+      incr pool_tick;
+      last := !pool_tick;
+      decr refs;
+      if !refs <= 0 then begin
+        Hashtbl.remove pool id;
+        decr pool_size
+      end;
+      Some basis
+  in
   let n = Problem.num_vars p in
   let dir, obj_expr = Problem.objective p in
   (* Work in minimization sense internally. *)
@@ -292,7 +381,6 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
     p;
   let best_obj = ref infinity (* minimization sense *) in
   let best_x = ref None in
-  let nodes = ref 0 in
   let simplex_solves = ref 0 in
   (* does the current cutoff come from an imported (foreign) incumbent? *)
   let cutoff_foreign = ref false in
@@ -328,7 +416,11 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
    | None -> ());
   let heap = Heap.create () in
   let tie = ref 0 in
-  Heap.push heap neg_infinity 0 { overrides = []; depth = 0 };
+  Heap.push heap neg_infinity 0 { overrides = []; depth = 0; parent = -1 };
+  (* reference cost of a from-scratch LP solve (the root's), used to
+     estimate the pivots each warm reoptimization avoided *)
+  let cold_ref_pivots = ref None in
+  let root_snapshot = ref None in
   let hit_limit = ref false in
   let root_infeasible = ref false in
   let root_unbounded = ref false in
@@ -371,18 +463,52 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
         incr simplex_solves;
         let pivots_before = cnt.Simplex_core.pivots + cnt.Simplex_core.dual_pivots in
         let lp_t0 = Clock.now () in
-        let lp_result =
-          Simplex.solve ~pricing ~counters:cnt ~deadline ~bounds:(lo, hi) p
+        (* the parent's basis, when it survived in the pool (the root may
+           be offered one by a caller chaining across adjacent solves) *)
+        let offered =
+          if node.depth = 0 then root_basis
+          else if node.parent >= 0 then pool_take node.parent
+          else None
         in
+        let wanted_warm =
+          if node.depth = 0 then root_basis <> None
+          else basis_pool > 0 && node.parent >= 0
+        in
+        let wr =
+          Simplex.solve_warm ~pricing ~counters:cnt ~deadline ~bounds:(lo, hi)
+            ?basis:offered p
+        in
+        let lp_result = wr.Simplex.wr_result in
         lp_time := !lp_time +. (Clock.now () -. lp_t0);
+        let spent =
+          cnt.Simplex_core.pivots + cnt.Simplex_core.dual_pivots
+          - pivots_before
+        in
+        (* the first from-scratch solve anchors the pivots-saved estimate *)
+        if !cold_ref_pivots = None && not wr.Simplex.wr_warm then
+          cold_ref_pivots := Some spent;
+        if wanted_warm then begin
+          if wr.Simplex.wr_warm then begin
+            cnt.Simplex_core.warm_hits <- cnt.Simplex_core.warm_hits + 1;
+            hooks.on_basis ~node:!nodes Warm_hit;
+            match !cold_ref_pivots with
+            | Some c when c > spent ->
+              cnt.Simplex_core.dual_pivots_saved <-
+                cnt.Simplex_core.dual_pivots_saved + (c - spent)
+            | _ -> ()
+          end
+          else begin
+            cnt.Simplex_core.warm_misses <- cnt.Simplex_core.warm_misses + 1;
+            hooks.on_basis ~node:!nodes Warm_miss
+          end
+        end;
+        if node.depth = 0 then root_snapshot := wr.Simplex.wr_basis;
         hooks.on_node ~node:!nodes ~depth:node.depth
           ~bound:
             (match lp_result with
              | Simplex.Optimal { obj; _ } -> Some obj
              | _ -> None)
-          ~pivots:
-            (cnt.Simplex_core.pivots + cnt.Simplex_core.dual_pivots
-             - pivots_before);
+          ~pivots:spent;
         (match lp_result with
          | Simplex.Infeasible ->
            if node.depth = 0 then root_infeasible := true
@@ -433,22 +559,31 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
                let j = !branch_var in
                let v = x.(j) in
                let fl = Float.of_int (int_of_float (Float.floor v)) in
+               let my_id = !nodes in
+               (match wr.Simplex.wr_basis with
+                | Some b when basis_pool > 0 -> pool_put my_id b
+                | _ -> ());
                incr tie;
                Heap.push heap bound_min !tie
                  {
                    overrides = (j, neg_infinity, fl) :: node.overrides;
                    depth = node.depth + 1;
+                   parent = my_id;
                  };
                incr tie;
                Heap.push heap bound_min !tie
                  {
                    overrides = (j, fl +. 1.0, infinity) :: node.overrides;
                    depth = node.depth + 1;
+                   parent = my_id;
                  }
              end
            end)
       end
   done;
+  (match basis_out with
+   | Some r -> r := !root_snapshot
+   | None -> ());
   let time_s = Clock.now () -. t0 in
   let open_bound =
     Heap.fold (fun acc (prio, _, _) -> Float.min acc prio) infinity heap

@@ -26,6 +26,12 @@ type lp_stats = {
   lp_dual_pivots : int;        (** dual-simplex warm-restart pivots *)
   lp_pricing_scanned : int;    (** candidate columns priced *)
   lp_pricing_refreshes : int;  (** pricing candidate-list rebuild scans *)
+  lp_warm_hits : int;          (** node LPs answered from a restored basis *)
+  lp_warm_misses : int;        (** node LPs that wanted a basis but went cold *)
+  lp_dual_pivots_saved : int;
+      (** estimated pivots avoided by warm starts: for each warm hit, the
+          first cold solve's pivot count minus the hit's actual spend *)
+  lp_basis_evictions : int;    (** bases dropped by the bounded pool's LRU *)
   lp_time_s : float;           (** wall-clock spent inside the LP kernel *)
   presolve_rounds : int;
   presolve_rows_dropped : int;
@@ -87,11 +93,22 @@ type solution = {
 
     Objectives flow through the hooks in the problem's original
     (min/max) sense. *)
+
+(** Basis-pool lifecycle events, reported through {!hooks}[.on_basis]:
+    a node LP reoptimized from its parent's basis ([Warm_hit]), wanted
+    one but fell back to a cold solve ([Warm_miss]), or the bounded pool
+    evicted its least-recently-used basis ([Evict]). *)
+type basis_event = Warm_hit | Warm_miss | Evict
+
 type hooks = {
   should_stop : unit -> bool;
   on_incumbent : obj:float -> float array -> unit;
   get_incumbent : unit -> (float * float array) option;
   on_node : node:int -> depth:int -> bound:float option -> pivots:int -> unit;
+  on_basis : node:int -> basis_event -> unit;
+      (** fires on warm-start bookkeeping events; [node] is the 1-based
+          index of the node being solved (for [Evict], the node whose
+          pool insertion forced the eviction) *)
 }
 
 (** Inert hooks: never stop, publish nowhere, import nothing. *)
@@ -124,7 +141,20 @@ val feasibility_shortcut : Problem.t -> float array option -> solution option
       and search the reduced problem. The reduction keeps every variable
       (same ids) and only tightens implied bounds / drops redundant
       rows, so the feasible set is unchanged and solutions need no
-      mapping back; reductions are reported in [stats.lp]. *)
+      mapping back; reductions are reported in [stats.lp].
+    - [basis_pool] (default 128): capacity of the parent-basis pool, in
+      bases. Each explored node snapshots its optimal basis so both
+      children can dual-simplex reoptimize from it instead of solving
+      cold; when the pool is full the least-recently-touched basis is
+      evicted (deterministically — ties break on the lower node id) and
+      its orphaned children fall back to the cold path, counted in
+      [lp_basis_evictions]. [0] disables warm starts entirely (the cold
+      baseline used by the WARMSTART bench).
+    - [root_basis]: an optimal basis from a structurally identical
+      earlier solve (e.g. the previous configuration of a sweep) used to
+      warm-start the root LP.
+    - [basis_out]: receives the root LP's optimal basis, for chaining
+      into the next solve's [root_basis]. *)
 val solve :
   ?time_limit_s:float ->
   ?deadline:float ->
@@ -136,5 +166,8 @@ val solve :
   ?log_every:int ->
   ?pricing:Simplex_core.pricing ->
   ?presolve:bool ->
+  ?root_basis:Simplex_core.Basis.t ->
+  ?basis_out:Simplex_core.Basis.t option ref ->
+  ?basis_pool:int ->
   Problem.t ->
   solution

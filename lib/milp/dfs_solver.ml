@@ -67,6 +67,35 @@ let rebuild st =
     st.lp_time <- st.lp_time +. (Clock.now () -. t0);
     match r with `Ok b -> b | `Limit -> raise Limit_reached
   in
+  (* Warm rebuild first: refactorize the current basis from fresh rows
+     (clearing any accumulated drift) and dual-repair under the current
+     bounds — the same {!Simplex_core.Basis} path the best-first engine
+     uses for node reoptimization. Everything the warm path certifies is
+     exact (crash + dual repair + full-scan primal cleanup on a fresh
+     factorization); anything inconclusive falls back to the cold
+     two-phase build below, so infeasibility claims stay trustworthy. *)
+  let warm =
+    let b = Simplex_core.snapshot st.tb in
+    match
+      Simplex_core.restore ~pricing:st.pricing ~counters:st.cnt
+        ~bounds:(st.cur_lo, st.cur_hi) ~max_iters:lp_iter_budget
+        ~deadline:st.deadline b st.p
+    with
+    | `Optimal tb ->
+      st.tb <- tb;
+      st.cnt.Simplex_core.warm_hits <- st.cnt.Simplex_core.warm_hits + 1;
+      st.hooks.Branch_bound.on_basis ~node:st.nodes Branch_bound.Warm_hit;
+      Some (`Ok true)
+    | `Infeasible_bounds | `Unbounded -> Some (`Ok false)
+    | `Limit -> Some `Limit
+    | `Cold_needed ->
+      st.cnt.Simplex_core.warm_misses <- st.cnt.Simplex_core.warm_misses + 1;
+      st.hooks.Branch_bound.on_basis ~node:st.nodes Branch_bound.Warm_miss;
+      None
+  in
+  match warm with
+  | Some r -> finish r
+  | None ->
   finish
     (match
        Simplex_core.build ~pricing:st.pricing ~counters:st.cnt
@@ -271,8 +300,8 @@ let fallback_reason p =
 let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 2_000_000)
     ?(int_eps = 1.0e-6) ?incumbent ?(branch_seed = 0)
     ?(hooks = Branch_bound.no_hooks) ?log_every
-    ?(pricing = Simplex_core.Devex) ?(presolve = true) (p0 : Problem.t) :
-    Branch_bound.solution =
+    ?(pricing = Simplex_core.Devex) ?(presolve = true) ?root_basis ?basis_out
+    (p0 : Problem.t) : Branch_bound.solution =
   ignore log_every;
   match Branch_bound.feasibility_shortcut p0 incumbent with
   | Some early -> early
@@ -285,7 +314,7 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 2_000_000)
   | Some reason ->
     Log.warn (fun f -> f "dfs: falling back to best-first solver (%s)" reason);
     Branch_bound.solve ~deadline ~int_eps ?incumbent ~branch_seed ~hooks
-      ~pricing ~presolve p0
+      ~pricing ~presolve ?root_basis ?basis_out p0
   | None ->
     (* Root presolve: same ids, implied-only tightening — the feasible set
        is unchanged, so the whole dive runs on the reduced problem and
@@ -398,27 +427,57 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 2_000_000)
         | Some _ | None -> ());
        let root_status =
          let lp_t0 = Clock.now () in
+         (* Chained root basis (from an adjacent sweep configuration):
+            reoptimize from it when compatible instead of a two-phase
+            cold solve; [`Cold_needed] falls through to the cold path. *)
+         let warm_root =
+           match root_basis with
+           | None -> `No
+           | Some b -> (
+             match
+               Simplex_core.restore ~pricing ~counters:cnt
+                 ~max_iters:lp_iter_budget ~deadline b p
+             with
+             | `Optimal tb' ->
+               st.tb <- tb';
+               cnt.Simplex_core.warm_hits <- cnt.Simplex_core.warm_hits + 1;
+               hooks.Branch_bound.on_basis ~node:1 Branch_bound.Warm_hit;
+               `Ok
+             | `Infeasible_bounds -> `Root_infeasible
+             | `Unbounded -> `Root_unbounded
+             | `Limit -> `Limit
+             | `Cold_needed ->
+               cnt.Simplex_core.warm_misses <- cnt.Simplex_core.warm_misses + 1;
+               hooks.Branch_bound.on_basis ~node:1 Branch_bound.Warm_miss;
+               `No)
+         in
          let r =
-           match Simplex_core.phase1 tb ~max_iters:lp_iter_budget ~deadline with
-           | `Infeasible -> `Root_infeasible
-           | `Limit -> `Limit
-           | `Feasible ->
-             Simplex_core.install_objective tb;
-             (match Simplex_core.phase2 tb ~max_iters:lp_iter_budget ~deadline with
-              | `Optimal -> `Ok
-              | `Unbounded -> `Root_unbounded
-              | `Iteration_limit -> `Limit)
+           match warm_root with
+           | (`Ok | `Root_infeasible | `Root_unbounded | `Limit) as r -> r
+           | `No -> (
+             match Simplex_core.phase1 tb ~max_iters:lp_iter_budget ~deadline with
+             | `Infeasible -> `Root_infeasible
+             | `Limit -> `Limit
+             | `Feasible ->
+               Simplex_core.install_objective tb;
+               (match Simplex_core.phase2 tb ~max_iters:lp_iter_budget ~deadline with
+                | `Optimal -> `Ok
+                | `Unbounded -> `Root_unbounded
+                | `Iteration_limit -> `Limit))
          in
          st.lp_time <- st.lp_time +. (Clock.now () -. lp_t0);
          r
        in
        let root_bound =
          match root_status with
-         | `Ok -> sense *. Simplex_core.objective_value tb
+         | `Ok -> sense *. Simplex_core.objective_value st.tb
          | _ -> neg_infinity
        in
        (match root_status with
         | `Ok ->
+          (match basis_out with
+           | Some r -> r := Some (Simplex_core.snapshot st.tb)
+           | None -> ());
           (try
              explore st;
              st.exhausted <- true

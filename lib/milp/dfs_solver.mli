@@ -20,7 +20,15 @@
     [pricing] (default [Devex]) selects the entering-variable rule, and
     [presolve] (default [true]) runs {!Presolve.run} once at the root
     exactly as in {!Branch_bound.solve}; LP work counters and presolve
-    reductions are reported in [stats.lp]. *)
+    reductions are reported in [stats.lp].
+
+    Warm starts ride the same {!Simplex_core.Basis} API as
+    {!Branch_bound.solve}: [root_basis] reoptimizes the root LP from a
+    structurally identical earlier solve's basis, [basis_out] receives
+    the root optimum's basis for chaining, and drift-recovery rebuilds
+    first refactorize the current basis (a warm hit) before paying a
+    cold two-phase solve (a warm miss) — both counted in [stats.lp] and
+    reported through {!Branch_bound.hooks}[.on_basis]. *)
 
 val solve :
   ?time_limit_s:float ->
@@ -33,5 +41,7 @@ val solve :
   ?log_every:int ->
   ?pricing:Simplex_core.pricing ->
   ?presolve:bool ->
+  ?root_basis:Simplex_core.Basis.t ->
+  ?basis_out:Simplex_core.Basis.t option ref ->
   Problem.t ->
   Branch_bound.solution

@@ -44,3 +44,34 @@ val solve :
   ?deadline:float ->
   Problem.t ->
   result
+
+(** Outcome of a warm-capable solve. [wr_basis] is a compact
+    {!Simplex_core.Basis} snapshot of the optimal basis (present exactly
+    when [wr_result] is [Optimal]) that a later [solve_warm] on the same
+    or a structurally identical problem can reoptimize from. [wr_warm]
+    reports whether the supplied basis actually produced the answer —
+    [false] means the solve ran (or fell back to) the cold path. *)
+type warm_result = {
+  wr_result : result;
+  wr_basis : Simplex_core.Basis.t option;
+  wr_warm : bool;
+}
+
+(** [solve_warm ?basis p] is {!solve} with basis reuse: when [basis] is
+    supplied and structurally compatible, the solve refactorizes the
+    saved basis under the new [bounds] and reoptimizes with the bounded
+    dual simplex followed by a primal cleanup — the warm claim is
+    certified by the same full pricing scan as a cold solve, so results
+    are interchangeable (tested). Any trouble on the warm path
+    (structure mismatch, stalled or uncertifiable dual repair) falls
+    back to the cold path transparently; only deadline expiry is
+    surfaced as [Iteration_limit] without a retry. *)
+val solve_warm :
+  ?pricing:pricing ->
+  ?counters:Simplex_core.counters ->
+  ?bounds:float array * float array ->
+  ?max_iters:int ->
+  ?deadline:float ->
+  ?basis:Simplex_core.Basis.t ->
+  Problem.t ->
+  warm_result

@@ -42,22 +42,45 @@ let pricing_name = function
   | Bland -> "bland"
 
 (* Work counters, accumulated across every phase (and, via [?counters] on
-   {!build}, across all tableaus of a branch-and-bound search). *)
+   {!build}, across all tableaus of a branch-and-bound search). The warm
+   fields account for {!Basis} reuse: a hit is a solve answered by a
+   restored basis, a miss is a solve that wanted one but fell back to the
+   cold path (basis evicted, structurally incompatible, or the dual
+   repair failed); [dual_pivots_saved] is the caller's estimate of pivots
+   the reuse avoided, and [basis_evictions] counts pool entries dropped
+   under memory pressure. *)
 type counters = {
   mutable pivots : int;             (* primal basis changes (phases I+II) *)
   mutable dual_pivots : int;        (* dual-simplex repair pivots *)
   mutable pricing_scanned : int;    (* candidate columns priced *)
   mutable pricing_refreshes : int;  (* candidate-list rebuild scans *)
+  mutable warm_hits : int;          (* solves answered from a restored basis *)
+  mutable warm_misses : int;        (* wanted a basis, fell back cold *)
+  mutable dual_pivots_saved : int;  (* estimated pivots avoided by reuse *)
+  mutable basis_evictions : int;    (* basis-pool LRU evictions *)
 }
 
 let fresh_counters () =
-  { pivots = 0; dual_pivots = 0; pricing_scanned = 0; pricing_refreshes = 0 }
+  {
+    pivots = 0;
+    dual_pivots = 0;
+    pricing_scanned = 0;
+    pricing_refreshes = 0;
+    warm_hits = 0;
+    warm_misses = 0;
+    dual_pivots_saved = 0;
+    basis_evictions = 0;
+  }
 
 let add_counters ~into c =
   into.pivots <- into.pivots + c.pivots;
   into.dual_pivots <- into.dual_pivots + c.dual_pivots;
   into.pricing_scanned <- into.pricing_scanned + c.pricing_scanned;
-  into.pricing_refreshes <- into.pricing_refreshes + c.pricing_refreshes
+  into.pricing_refreshes <- into.pricing_refreshes + c.pricing_refreshes;
+  into.warm_hits <- into.warm_hits + c.warm_hits;
+  into.warm_misses <- into.warm_misses + c.warm_misses;
+  into.dual_pivots_saved <- into.dual_pivots_saved + c.dual_pivots_saved;
+  into.basis_evictions <- into.basis_evictions + c.basis_evictions
 
 (* How an original variable maps to solver columns. The shift of Shifted /
    Flipped columns lives in the mutable [shift] array so branching can
@@ -86,6 +109,11 @@ type t = {
   shift : float array;             (* per original variable *)
   col_of_var : int array;          (* structural column of Shifted vars, -1 otherwise *)
   artificials : int list;
+  row_slack : int array;           (* m: slack column of each row, -1 if none *)
+  sense_sig : int;                 (* order-sensitive hash of the problem's
+                                      original row senses — independent of the
+                                      RHS-sign normalization, so it is stable
+                                      across bound changes (branching) *)
   mutable cost : float array;      (* phase-2 reduced costs (minimization) *)
   mutable obj_sign : float;        (* +1 minimize, -1 maximize *)
   mutable iters : int;
@@ -572,11 +600,13 @@ let build ?(pricing = Devex) ?counters ?bounds (p : Problem.t) =
     let rows = Array.make m [||] in
     let rhs = Array.make m 0.0 in
     let senses = Array.make m Problem.Eq in
+    let osenses = Array.make m Problem.Eq in
     let row_ids = Array.make m 0 in
     let k = ref 0 in
     Problem.iter_constrs
       (fun c ->
         row_ids.(!k) <- c.Problem.c_id;
+        osenses.(!k) <- c.Problem.c_sense;
         let row, const = substitute c.Problem.c_expr in
         let b = c.Problem.c_rhs -. const in
         (* normalize to b >= 0; ">= 0" rows become "<= 0" so they start
@@ -628,6 +658,7 @@ let build ?(pricing = Devex) ?counters ?bounds (p : Problem.t) =
     let slack_idx = ref nstruct in
     let artif_idx = ref (nstruct + n_slack) in
     let artificials = ref [] in
+    let row_slack = Array.make m (-1) in
     for i = 0 to m - 1 do
       beta.(i) <- rhs.(i);
       match senses.(i) with
@@ -636,11 +667,13 @@ let build ?(pricing = Devex) ?counters ?bounds (p : Problem.t) =
         incr slack_idx;
         tab.(i).(s) <- 1.0;
         basis.(i) <- s;
-        stat.(s) <- Basic
+        stat.(s) <- Basic;
+        row_slack.(i) <- s
       | Problem.Ge ->
         let s = !slack_idx in
         incr slack_idx;
         tab.(i).(s) <- -1.0;
+        row_slack.(i) <- s;
         let a = !artif_idx in
         incr artif_idx;
         tab.(i).(a) <- 1.0;
@@ -684,6 +717,17 @@ let build ?(pricing = Devex) ?counters ?bounds (p : Problem.t) =
       rsup.(i) <- sup;
       rsup_len.(i) <- !w
     done;
+    (* hash the ORIGINAL senses, not the normalized ones: normalization
+       flips with the sign of the (bound-shifted) RHS, so a hash of the
+       normalized senses would change under branching bounds and defeat
+       warm starts (see [Basis]) *)
+    let sense_sig =
+      Array.fold_left
+        (fun h s ->
+          (h * 31)
+          + (match s with Problem.Le -> 1 | Problem.Ge -> 2 | Problem.Eq -> 3))
+        17 osenses
+    in
     let tb =
       {
         problem = p;
@@ -703,6 +747,8 @@ let build ?(pricing = Devex) ?counters ?bounds (p : Problem.t) =
         shift;
         col_of_var;
         artificials = !artificials;
+        row_slack;
+        sense_sig;
         cost = [||];
         obj_sign = 1.0;
         iters = 0;
@@ -948,7 +994,16 @@ let var_bounds_of tb j =
 (* Bounded dual simplex: repair primal feasibility after bound changes
    while the reduced costs (unchanged by bound moves) stay dual feasible.
    On success the basis is optimal again. The entering scan walks the
-   leaving row's nonzero support instead of every active column. *)
+   leaving row's nonzero support instead of every active column.
+
+   Repeated dense row updates drift the basic values by ~1e-6 over a few
+   hundred pivots; a leftover violation of that size routinely has no
+   eligible entering column (the drift is noise, not geometry). Declaring
+   [`Infeasible] there would discard the whole warm solve, so violations
+   up to [drop_eps] are snapped onto their bound instead — the same
+   magnitude of error the cold path's solutions already carry. *)
+let drop_eps = 1.0e-5
+
 let dual_restore tb ~max_iters ~deadline =
   let start_iters = tb.iters in
   let reperturbed = ref false in
@@ -1036,7 +1091,15 @@ let dual_restore tb ~max_iters ~deadline =
             end
           end
         done;
-        if !entering < 0 then `Infeasible
+        if !entering < 0 then
+          if !worst <= drop_eps then begin
+            (* numerical drift, not structural infeasibility: no pivot can
+               remove it, so absorb it into the bound and keep repairing *)
+            tb.beta.(r) <-
+              (if !over_upper then tb.upper.(tb.basis.(r)) else 0.0);
+            loop ()
+          end
+          else `Infeasible
         else begin
           let j = !entering in
           let target = if !over_upper then tb.upper.(tb.basis.(r)) else 0.0 in
@@ -1070,3 +1133,439 @@ let dual_restore tb ~max_iters ~deadline =
     end
   in
   loop ()
+
+(* Composite phase I: primal simplex on the piecewise-linear total
+   infeasibility  w = sum max(0, -beta_i) + sum max(0, beta_i - u_i).
+   Unlike the artificial phase I it starts from ANY basis, and unlike
+   {!dual_restore} its steering does not depend on the problem's reduced
+   costs — on the mostly-zero objectives of this MILP family the dual
+   repair is completely dual-degenerate (every ratio ~0) and wanders,
+   while w's gradient always points at feasibility. Used by {!restore}
+   when the budgeted dual repair stalls.
+
+   Each iteration prices the infeasibility objective over the violated
+   rows' supports, enters the best improving column (Dantzig; smallest
+   index after a stall), and stops at the first breakpoint: a feasible
+   basic reaching a bound, a violated basic reaching the bound it
+   violates (it becomes feasible there), or the entering column's own
+   width (a bound flip — no pivot). The phase-2 cost row is carried
+   through every pivot, so a successful repair continues straight into
+   {!phase2}. *)
+let primal_repair tb ~max_iters ~deadline =
+  let m = tb.m in
+  let d = Array.make tb.act 0.0 in
+  let start_iters = tb.iters in
+  let best_w = ref infinity in
+  let last_gain = ref 0 in
+  let rec loop () =
+    let done_iters = tb.iters - start_iters in
+    if done_iters > max_iters then `Limit
+    else if tb.iters land 127 = 0 && Clock.now () > deadline then `Limit
+    else begin
+      (* total infeasibility and the violated-row gradient *)
+      Array.fill d 0 tb.act 0.0;
+      let w = ref 0.0 and worst = ref 0.0 and nviol = ref 0 in
+      for i = 0 to m - 1 do
+        let b = tb.beta.(i) in
+        let u = tb.upper.(tb.basis.(i)) in
+        let viol = if -.b > feas_eps then -.b
+                   else if u < infinity && b -. u > feas_eps then b -. u
+                   else 0.0
+        in
+        if viol > 0.0 then begin
+          incr nviol;
+          w := !w +. viol;
+          if viol > !worst then worst := viol;
+          let sgn = if b < 0.0 then 1.0 else -1.0 in
+          let row = tb.tab.(i) in
+          let sup = tb.rsup.(i) in
+          for ki = 0 to tb.rsup_len.(i) - 1 do
+            let k = Array.unsafe_get sup ki in
+            if k < tb.act then
+              d.(k) <- d.(k) +. (sgn *. Array.unsafe_get row k)
+          done
+        end
+      done;
+      if !nviol = 0 then `Feasible
+      else if !worst <= drop_eps then begin
+        (* only drift-sized violations remain: absorb them *)
+        for i = 0 to m - 1 do
+          let b = tb.beta.(i) in
+          if b < 0.0 then tb.beta.(i) <- 0.0
+          else begin
+            let u = tb.upper.(tb.basis.(i)) in
+            if u < infinity && b > u then tb.beta.(i) <- u
+          end
+        done;
+        `Feasible
+      end
+      else begin
+        if !w < !best_w -. feas_eps then begin
+          best_w := !w;
+          last_gain := done_iters
+        end;
+        let stalled = done_iters - !last_gain > 2 * m in
+        (* entering: largest |d| improving column (smallest index when
+           stalled, Bland-style) *)
+        let j = ref (-1) and best = ref cost_eps in
+        (try
+           for k = 0 to tb.act - 1 do
+             if tb.enterable.(k) && tb.upper.(k) > 0.0 then begin
+               let improving =
+                 match tb.stat.(k) with
+                 | At_lower -> -.d.(k) > !best
+                 | At_upper -> d.(k) > !best
+                 | Basic -> false
+               in
+               if improving then begin
+                 j := k;
+                 if stalled then raise Exit;
+                 best := Float.abs d.(k)
+               end
+             end
+           done
+         with Exit -> ());
+        if !j < 0 then `Infeasible
+        else begin
+          let j = !j in
+          (* s = +1: x_j rises off its lower bound; -1: falls off its
+             upper. Basic values move at rate -c_i per unit step. *)
+          let s = if tb.stat.(j) = At_lower then 1.0 else -1.0 in
+          let col = Array.init m (fun i -> tb.tab.(i).(j)) in
+          let step = ref infinity and block = ref (-1) in
+          let block_at_upper = ref false in
+          for i = 0 to m - 1 do
+            let c = s *. col.(i) in
+            if Float.abs c > pivot_eps then begin
+              let b = tb.beta.(i) in
+              let u = tb.upper.(tb.basis.(i)) in
+              if -.b > feas_eps then begin
+                (* below lower: blocks where it becomes feasible *)
+                if c < 0.0 then begin
+                  let t = b /. c in
+                  if t < !step then begin
+                    step := t; block := i; block_at_upper := false
+                  end
+                end
+              end
+              else if u < infinity && b -. u > feas_eps then begin
+                if c > 0.0 then begin
+                  let t = (b -. u) /. c in
+                  if t < !step then begin
+                    step := t; block := i; block_at_upper := true
+                  end
+                end
+              end
+              else if c > 0.0 then begin
+                (* feasible, moving down: blocks at its lower bound *)
+                let t = Float.max 0.0 b /. c in
+                if t < !step then begin
+                  step := t; block := i; block_at_upper := false
+                end
+              end
+              else if u < infinity then begin
+                (* feasible, moving up: blocks at its upper bound *)
+                let t = Float.max 0.0 (u -. b) /. -.c in
+                if t < !step then begin
+                  step := t; block := i; block_at_upper := true
+                end
+              end
+            end
+          done;
+          if tb.upper.(j) < !step then begin
+            (* the entering column hits its own far bound first: flip it
+               across, no basis change *)
+            let t = tb.upper.(j) in
+            for i = 0 to m - 1 do
+              let c = s *. col.(i) in
+              if c <> 0.0 then tb.beta.(i) <- tb.beta.(i) -. (c *. t)
+            done;
+            tb.stat.(j) <- (if s > 0.0 then At_upper else At_lower);
+            tb.iters <- tb.iters + 1;
+            tb.cnt.pivots <- tb.cnt.pivots + 1;
+            loop ()
+          end
+          else if !block < 0 then `Infeasible (* w unbounded: numerical *)
+          else begin
+            let r = !block in
+            let t = !step in
+            for i = 0 to m - 1 do
+              if i <> r then begin
+                let c = s *. col.(i) in
+                if c <> 0.0 then tb.beta.(i) <- tb.beta.(i) -. (c *. t)
+              end
+            done;
+            let leaving = tb.basis.(r) in
+            let entry_value = if s > 0.0 then 0.0 else tb.upper.(j) in
+            tb.stat.(leaving) <-
+              (if !block_at_upper then At_upper else At_lower);
+            tb.stat.(j) <- Basic;
+            tb.basis.(r) <- j;
+            tb.row_of_col.(leaving) <- -1;
+            tb.row_of_col.(j) <- r;
+            pivot tb [ tb.cost ] r j;
+            tb.iters <- tb.iters + 1;
+            tb.cnt.pivots <- tb.cnt.pivots + 1;
+            tb.beta.(r) <- entry_value +. (s *. t);
+            loop ()
+          end
+        end
+      end
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Basis snapshots: compact warm-start state across solves             *)
+(* ------------------------------------------------------------------ *)
+
+(* A basis snapshot is combinatorial, not numerical: which entity each
+   tableau row holds basic plus which nonbasic variables rest at their
+   upper bound. It deliberately excludes the dense tableau — [restore]
+   refactorizes from the original rows, so numerical drift accumulated in
+   the donor tableau never transfers. Basic structural columns are
+   recorded by their original variable id (column indices shift when
+   branching fixes a variable and [build] eliminates its column); slack
+   columns by their OWNING ROW, not their column offset: [build]
+   normalizes each row to a nonnegative RHS, and branching bounds shift
+   the RHS, so the slack/artificial column layout is different between a
+   parent and its children — but "the slack of row r" names the same
+   mathematical variable under either orientation (a.x + s = b and
+   -a.x - s = -b share s). Basic artificials are recorded as [Bnone]:
+   the restored tableau keeps the fresh basic for those rows and the
+   dual repair drives out any residual infeasibility. *)
+module Basis = struct
+  type entry =
+    | Bvar of int    (* structural column, by original variable id *)
+    | Bslack of int  (* slack column, by owning row *)
+    | Bnone          (* not restorable (Split column / artificial); keep
+                        the fresh basic *)
+
+  type t = {
+    rows : entry array;    (* basic entity per tableau row *)
+    at_upper : int array;  (* variable ids nonbasic at their upper bound *)
+    bm : int;              (* donor row count *)
+    bn : int;              (* donor variable count *)
+    bsig : int;            (* donor original-sense fingerprint *)
+  }
+
+  (* Approximate heap words held by a snapshot (for pool sizing). *)
+  let size_words b = Array.length b.rows + Array.length b.at_upper + 8
+end
+
+(* Inverse of [vmap] restricted to single-column maps: the variable owning
+   each structural column ([Split] halves stay -1). *)
+let var_of_col tb =
+  let inv = Array.make tb.nstruct (-1) in
+  for v = 0 to tb.n - 1 do
+    match tb.vmap.(v) with
+    | Shifted c | Flipped c -> inv.(c) <- v
+    | Fixed | Split _ -> ()
+  done;
+  inv
+
+let snapshot tb : Basis.t =
+  let inv = var_of_col tb in
+  (* owning row of each slack column *)
+  let slack_row = Array.make tb.ncols (-1) in
+  Array.iteri
+    (fun r c -> if c >= 0 then slack_row.(c) <- r)
+    tb.row_slack;
+  let rows =
+    Array.init tb.m (fun r ->
+        let col = tb.basis.(r) in
+        if col >= tb.nstruct then
+          match slack_row.(col) with
+          | -1 -> Basis.Bnone (* artificial *)
+          | r' -> Basis.Bslack r'
+        else
+          match inv.(col) with
+          | -1 -> Basis.Bnone
+          | v -> Basis.Bvar v)
+  in
+  let ups = ref [] in
+  for c = tb.nstruct - 1 downto 0 do
+    if tb.stat.(c) = At_upper && inv.(c) >= 0 then ups := inv.(c) :: !ups
+  done;
+  {
+    Basis.rows;
+    at_upper = Array.of_list !ups;
+    bm = tb.m;
+    bn = tb.n;
+    bsig = tb.sense_sig;
+  }
+
+(* Crash pivots tolerate less than regular ratio-tested pivots: a small
+   pivot element here only degrades the warm start (the row keeps its
+   fresh slack/artificial basic), never correctness. *)
+let crash_eps = 1.0e-6
+
+(* Force the saved basis into a freshly built tableau. [beta] is carried
+   through each elimination as an extra column, so the basic values stay
+   exact for the partial basis installed so far.
+
+   The snapshot is used as a column SET, not as the donor's row-column
+   matching: the LP vertex is determined by which columns are basic, and
+   the row a column occupies is internal bookkeeping. Reproducing the
+   donor's matching would force structurally-zero pivots (a slack basic
+   in a foreign row starts as a 0 entry and only fills in), so instead
+   each wanted column is eliminated into the free row with the LARGEST
+   pivot element — ordinary Gaussian elimination with partial pivoting,
+   one column at a time. Columns whose best remaining pivot is still
+   tiny (column gone, duplicate, or a numerically dependent tail) are
+   left nonbasic; their rows keep the fresh slack/artificial basic and
+   the repair phases deal with the residual. *)
+let crash_basis tb (b : Basis.t) =
+  let used = Array.make tb.m false in
+  let wanted = ref [] in
+  for r = tb.m - 1 downto 0 do
+    let c =
+      match b.Basis.rows.(r) with
+      | Basis.Bnone -> -1
+      | Basis.Bslack r' -> if r' < tb.m then tb.row_slack.(r') else -1
+      | Basis.Bvar v -> (
+        match tb.vmap.(v) with
+        | Shifted c | Flipped c -> c
+        | Fixed | Split _ -> -1)
+    in
+    if c >= 0 then
+      if tb.stat.(c) = Basic then begin
+        (* already basic (e.g. the fresh slack the donor also kept):
+           pin its row *)
+        let i = tb.row_of_col.(c) in
+        if i >= 0 then used.(i) <- true
+      end
+      else wanted := c :: !wanted
+  done;
+  List.iter
+    (fun c ->
+      if tb.stat.(c) <> Basic then begin
+        (* best free row for this column (partial pivoting) *)
+        let best = ref crash_eps and br = ref (-1) in
+        for i = 0 to tb.m - 1 do
+          if not used.(i) then begin
+            let p = Float.abs tb.tab.(i).(c) in
+            if p > !best then begin
+              best := p;
+              br := i
+            end
+          end
+        done;
+        if !br >= 0 then begin
+          let r = !br in
+          used.(r) <- true;
+          let p = tb.tab.(r).(c) in
+          let brv = tb.beta.(r) /. p in
+          for i = 0 to tb.m - 1 do
+            if i <> r then begin
+              let a = tb.tab.(i).(c) in
+              if a <> 0.0 then tb.beta.(i) <- tb.beta.(i) -. (a *. brv)
+            end
+          done;
+          tb.beta.(r) <- brv;
+          let leaving = tb.basis.(r) in
+          tb.stat.(leaving) <- At_lower;
+          tb.stat.(c) <- Basic;
+          tb.basis.(r) <- c;
+          tb.row_of_col.(leaving) <- -1;
+          tb.row_of_col.(c) <- r;
+          pivot tb [] r c
+        end
+      end)
+    !wanted
+
+(* Reoptimize [p] starting from the saved basis [b]: build the start
+   tableau under the (possibly changed) bounds, crash the basis in,
+   restore the nonbasic at-upper rests, skip phase I entirely (artificial
+   bounds are pinned to 0 and any residual infeasibility is the dual
+   simplex's job), then repair primal feasibility with the bounded dual
+   simplex and polish with a primal phase II — which certifies optimality
+   by the same full-refresh scan as a cold solve, so a warm [`Optimal] is
+   exactly as trustworthy. [`Cold_needed] means the basis did not carry
+   over (structure mismatch, or the dual repair stalled/claimed
+   infeasibility it cannot certify — a restored cost row need not be
+   exactly dual feasible): callers fall back to the cold path. *)
+let restore ?pricing ?counters ?bounds ~max_iters ~deadline (b : Basis.t)
+    (p : Problem.t) =
+  match build ?pricing ?counters ?bounds p with
+  | None -> `Infeasible_bounds
+  | Some tb ->
+    if
+      b.Basis.bm <> tb.m || b.Basis.bn <> tb.n
+      || b.Basis.bsig <> tb.sense_sig
+    then `Cold_needed
+    else begin
+      crash_basis tb b;
+      Array.iter
+        (fun v ->
+          match tb.vmap.(v) with
+          | Shifted c
+            when tb.stat.(c) = At_lower && tb.upper.(c) < infinity ->
+            let u = tb.upper.(c) in
+            tb.stat.(c) <- At_upper;
+            if u <> 0.0 then
+              for i = 0 to tb.m - 1 do
+                let a = tb.tab.(i).(c) in
+                if a <> 0.0 then tb.beta.(i) <- tb.beta.(i) -. (a *. u)
+              done
+          | _ -> ())
+        b.Basis.at_upper;
+      (* phase I is skipped: pin the artificials to width 0 (the dual
+         repair drives out any that sit basic at a nonzero value — they
+         are not enterable, so they never come back) and shrink the
+         active width when none remained basic. *)
+      List.iter (fun a -> tb.upper.(a) <- 0.0) tb.artificials;
+      let first_artif = List.fold_left min tb.ncols tb.artificials in
+      let any_basic_artif = ref false in
+      for r = 0 to tb.m - 1 do
+        if tb.basis.(r) >= first_artif then any_basic_artif := true
+      done;
+      if not !any_basic_artif then tb.act <- first_artif;
+      install_objective tb;
+      let polish () =
+        match phase2 tb ~max_iters ~deadline with
+        | `Optimal -> `Optimal tb
+        | `Unbounded -> `Unbounded
+        | `Iteration_limit ->
+          if Clock.now () > deadline then `Limit else `Cold_needed
+      in
+      (* the dual repair is ideal when few basics are violated and the
+         reduced costs steer (small pivot counts, preserved optimality),
+         but on near-zero objectives it is fully dual-degenerate and can
+         wander — budget it by the damage, then hand a stalled repair to
+         the composite primal phase I, whose gradient cannot degenerate *)
+      let nviol = ref 0 in
+      for i = 0 to tb.m - 1 do
+        let bta = tb.beta.(i) in
+        let u = tb.upper.(tb.basis.(i)) in
+        if -.bta > feas_eps || (u < infinity && bta -. u > feas_eps) then
+          incr nviol
+      done;
+      if !nviol > max 16 (tb.m / 16) then
+        (* the reconstruction is too damaged to be worth repairing — on
+           badly scaled models (large mixed-magnitude entries, e.g. after
+           presolve's bound-shifting) the dense eliminations can leave
+           hundreds of rows violated by bound-sized amounts, and pivoting
+           all of them back costs more than the cold solve the caller
+           falls back to *)
+        `Cold_needed
+      else begin
+      let dual_budget = min max_iters (max 100 (8 * !nviol)) in
+      match dual_restore tb ~max_iters:dual_budget ~deadline with
+      | `Infeasible ->
+        (* possibly genuine, but the restored cost row is not guaranteed
+           dual feasible, so the infeasibility proof does not stand on its
+           own — let the caller confirm with a cold solve *)
+        `Cold_needed
+      | `Feasible -> polish ()
+      | `Limit ->
+        if Clock.now () > deadline then `Limit
+        else begin
+          match primal_repair tb ~max_iters ~deadline with
+          | `Feasible -> polish ()
+          | `Infeasible -> `Cold_needed
+          | `Limit ->
+            if Clock.now () > deadline then `Limit else `Cold_needed
+        end
+      end
+    end

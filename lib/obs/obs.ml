@@ -349,6 +349,18 @@ module Solver_hooks = struct
             base.Milp.Branch_bound.on_incumbent ~obj x;
             point ~cat:"solver" "incumbent"
               [ ("worker", Str worker); ("obj", Float obj) ]);
+        on_basis =
+          (fun ~node ev ->
+            base.Milp.Branch_bound.on_basis ~node ev;
+            (* same deterministic sampling as node events: basis traffic
+               is one-to-one with nodes on a warm search *)
+            if node <= node_sample || node land node_sample_mask = 0 then
+              point ~cat:"basis"
+                (match ev with
+                 | Milp.Branch_bound.Warm_hit -> "warm_hit"
+                 | Milp.Branch_bound.Warm_miss -> "warm_miss"
+                 | Milp.Branch_bound.Evict -> "evict")
+                [ ("worker", Str worker); ("node", Int node) ]);
       }
 end
 

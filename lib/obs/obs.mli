@@ -86,8 +86,10 @@ module Solver_hooks : sig
       each explored node emits a (deterministically sampled — first 64,
       then every 256th) ["solver"/"node"] point with depth, LP bound and
       pivot cost; each incumbent improvement emits
-      ["solver"/"incumbent"]. The underlying callbacks still run first.
-      Identity when tracing is disabled. *)
+      ["solver"/"incumbent"]; warm-start bookkeeping emits
+      ["basis"/"warm_hit"], ["basis"/"warm_miss"] and ["basis"/"evict"]
+      points under the same node sampling. The underlying callbacks
+      still run first. Identity when tracing is disabled. *)
 end
 
 (** {1 Validation} *)

@@ -261,6 +261,7 @@ let solve ?pool ?jobs ?configs ?(deterministic = false) ?cancel ?deadline
                   found
               end);
           on_node = Milp.Branch_bound.no_hooks.Milp.Branch_bound.on_node;
+          on_basis = Milp.Branch_bound.no_hooks.Milp.Branch_bound.on_basis;
         }
     in
     let hooks = Obs.Solver_hooks.wrap ~worker:cfg.name hooks in

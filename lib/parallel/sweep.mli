@@ -14,6 +14,27 @@ type ('a, 'b) outcome = {
   time_s : float;  (** wall time the item actually took *)
 }
 
+(** Per-domain hand-off slot for chaining state between consecutive
+    sweep items that run on the same worker domain — used to pass an
+    optimal simplex basis ({!Milp.Simplex_core.Basis}) from one
+    configuration's solve to the next so adjacent LPs warm-start.
+    Values never cross domains (the slot lives in domain-local
+    storage), so no synchronization is involved; with [jobs = 1] the
+    chain order equals item order and sweeps stay deterministic. *)
+module Chain : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val take : 'a t -> 'a option
+  (** [take t] consumes the calling domain's chained value, leaving the
+      slot empty ([None] if nothing was put since the last take). *)
+
+  val put : 'a t -> 'a -> unit
+  (** [put t v] stores [v] in the calling domain's slot for the next
+      item on this domain to {!take}. *)
+end
+
 (** [map f items] runs [f ~deadline item] for every item on a pool,
     returning outcomes in input order.
 

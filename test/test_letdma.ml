@@ -303,10 +303,14 @@ let test_solve_presolve_default_unchanged () =
   let groups = Groups.compute app in
   let gamma = gamma_for app 0.3 in
   (* no warm start: a warm incumbent triggers the feasibility shortcut on
-     NO-OBJ and no search (hence no presolve) would run at all *)
+     NO-OBJ and no search (hence no presolve) would run at all.
+     [basis_pool:0] keeps both solves on the cold per-node path: a warm
+     restore may land on a different (equally optimal) degenerate vertex
+     of the reduced model, which legitimately changes the branching
+     trajectory — warm-vs-cold agreement has its own tests. *)
   let solve presolve =
-    Solve.solve ~presolve ~time_limit_s:20.0 Formulation.No_obj app groups
-      ~gamma
+    Solve.solve ~presolve ~basis_pool:0 ~time_limit_s:20.0 Formulation.No_obj
+      app groups ~gamma
   in
   let on = solve true and off = solve false in
   check_bool "both solved" true
@@ -805,7 +809,7 @@ let test_pipeline_lying_solver_falls_back () =
       time_s = 0.0 }
   in
   let lying ~deadline_s:_ ~engine:_ ~jobs:_ ~presolve:_ ~cancel:_ ~warm:_
-      ~options
+      ~chain:_ ~options
       objective app groups ~gamma:g =
     let inst = Formulation.make ~options objective app groups ~gamma:g in
     {

@@ -1027,6 +1027,128 @@ let prop_bb_obj_never_beats_lp_bound =
       | B.Optimal, Some obj -> obj <= lp +. 1e-6
       | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Warm-basis reuse                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* shared random MILP generator for the warm-vs-cold cross-checks: a
+   knapsack-ish model whose LP relaxation is fractional, so the search
+   branches and children actually exercise the basis pool *)
+let warm_test_problem st =
+  let n = 4 + Random.State.int st 7 in
+  let p = P.create () in
+  let xs =
+    Array.init n (fun i -> P.binary ~name:(Printf.sprintf "w%d" i) p)
+  in
+  let y = P.integer ~name:"wy" ~lo:0.0 ~hi:6.0 p in
+  for r = 0 to 2 do
+    let expr =
+      Array.fold_left
+        (fun acc x -> L.add_term acc (float_of_int (1 + Random.State.int st 9)) x)
+        (L.var ~coeff:2.0 y) xs
+    in
+    ignore
+      (P.add_constr ~name:(Printf.sprintf "wr%d" r) p expr P.Le
+         (float_of_int (8 + Random.State.int st (3 * n))))
+  done;
+  ignore (P.add_constr p (L.add (L.var xs.(0)) (L.var y)) P.Ge 1.0);
+  P.set_objective p P.Maximize
+    (Array.fold_left
+       (fun acc x -> L.add_term acc (float_of_int (1 + Random.State.int st 9)) x)
+       (L.var ~coeff:3.0 y) xs);
+  p
+
+(* a restored basis reoptimized under branched bounds must be
+   interchangeable with a cold solve: same status, same objective (the
+   vertex may differ among degenerate optima) *)
+let prop_warm_simplex_matches_cold =
+  QCheck.Test.make ~name:"warm simplex restore matches cold under new bounds"
+    ~count:80
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let p = warm_test_problem st in
+      let w0 = S.solve_warm p in
+      match (w0.S.wr_result, w0.S.wr_basis) with
+      | S.Optimal { x; _ }, Some basis ->
+        let nvars = P.num_vars p in
+        let lo = Array.make nvars 0.0 and hi = Array.make nvars 0.0 in
+        P.iter_vars (fun j _ (l, h) -> lo.(j) <- l; hi.(j) <- h) p;
+        (* branch-style bound move on a variable with slack to move *)
+        let j = Random.State.int st nvars in
+        if Random.State.bool st then hi.(j) <- Float.max lo.(j) (Float.floor x.(j))
+        else lo.(j) <- Float.min hi.(j) (Float.ceil x.(j));
+        let cold = S.solve ~bounds:(lo, hi) p in
+        let warm = S.solve_warm ~bounds:(lo, hi) ~basis p in
+        (match (cold, warm.S.wr_result) with
+         | S.Optimal { obj = oa; _ }, S.Optimal { obj = ob; _ } ->
+           Float.abs (oa -. ob) <= 1e-6 *. (1.0 +. Float.abs oa)
+         | S.Infeasible, S.Infeasible -> true
+         | S.Unbounded, S.Unbounded -> true
+         | _ -> false)
+      | _ -> QCheck.assume_fail ())
+
+(* the warm-basis engine (pool on) and the cold engine (pool 0) must
+   agree on status and objective over whole searches — the warm-vs-cold
+   companion of the dfs-vs-best-first cross-engine property *)
+let prop_warm_bb_matches_cold =
+  QCheck.Test.make ~name:"warm-basis B&B matches cold B&B on random MILPs"
+    ~count:30
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let p = warm_test_problem st in
+      let cold = B.solve ~time_limit_s:15.0 ~basis_pool:0 p in
+      (* a tiny pool also exercises LRU eviction and the orphan fallback *)
+      let warm = B.solve ~time_limit_s:15.0 ~basis_pool:4 p in
+      cold.B.status = warm.B.status
+      &&
+      match (cold.B.obj, warm.B.obj) with
+      | Some oa, Some ob -> Float.abs (oa -. ob) < 1.0e-6
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+
+(* jobs=1 determinism: two identical warm runs walk the identical search
+   — node counts, warm accounting and the full incumbent trajectory.
+   The pool's LRU eviction picks its victim by a (recency, node-id)
+   total order precisely so this holds; a Hashtbl-iteration-order
+   dependence would show up here as runs (or the pinned expectations
+   below) diverging. *)
+let test_warm_determinism_two_runs () =
+  let run () =
+    let trail = ref [] in
+    let hooks =
+      {
+        B.no_hooks with
+        B.on_incumbent = (fun ~obj _ -> trail := obj :: !trail);
+      }
+    in
+    let st = Random.State.make [| 42 |] in
+    let p = warm_test_problem st in
+    let r = B.solve ~time_limit_s:30.0 ~basis_pool:2 ~hooks p in
+    let lp = r.B.stats.B.lp in
+    ( r.B.status,
+      r.B.obj,
+      r.B.stats.B.nodes,
+      lp.B.lp_warm_hits,
+      lp.B.lp_warm_misses,
+      lp.B.lp_basis_evictions,
+      List.rev !trail )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "two runs identical" true (a = b);
+  let status, obj, nodes, hits, misses, evictions, trail = a in
+  Alcotest.(check bool) "solved to optimality" true (status = B.Optimal);
+  (* pinned trajectory for the fixed seed: guards regressions that
+     change the search (e.g. pool bookkeeping becoming order-dependent)
+     without breaking two-run equality within one process *)
+  check_float "pinned objective" 16.0 (Option.get obj);
+  Alcotest.(check int) "pinned node count" 5 nodes;
+  Alcotest.(check int) "pinned warm hits" 4 hits;
+  Alcotest.(check int) "pinned warm misses" 0 misses;
+  Alcotest.(check int) "pinned evictions" 1 evictions;
+  Alcotest.(check int) "pinned incumbent count" 3 (List.length trail)
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
@@ -1035,6 +1157,8 @@ let () =
         prop_random_lp_solution_feasible;
         prop_bb_obj_never_beats_lp_bound;
         prop_dfs_matches_best_first;
+        prop_warm_simplex_matches_cold;
+        prop_warm_bb_matches_cold;
         prop_lp_roundtrip;
         prop_presolve_preserves_optimum;
         prop_cross_pricing_same_objective;
@@ -1070,6 +1194,11 @@ let () =
             test_milp_infeasible_integrality;
           Alcotest.test_case "warm incumbent" `Quick test_milp_warm_incumbent;
           Alcotest.test_case "assignment" `Quick test_milp_assignment;
+        ] );
+      ( "warmstart",
+        [
+          Alcotest.test_case "jobs=1 determinism + pinned trajectory" `Quick
+            test_warm_determinism_two_runs;
         ] );
       ( "dfs-solver",
         [

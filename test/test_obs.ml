@@ -229,6 +229,50 @@ let test_jobs1_trace_deterministic () =
   let b = List.map strip_times (read_lines p2) in
   Alcotest.(check (list string)) "identical event streams" a b
 
+(* basis-pool lifecycle events ride the sampled node stream: a warm
+   best-first solve with a tiny pool must leave warm_hit and evict
+   points in the trace, and the trace must still validate. *)
+let test_basis_events_traced () =
+  with_temp @@ fun path ->
+  let module P = Milp.Problem in
+  let module L = Milp.Linexpr in
+  (* knapsack-flavoured MILP whose LP relaxation is fractional, so the
+     search branches and children restore parent bases (same shape as
+     test_milp's pinned warm-start trajectory) *)
+  let st = Random.State.make [| 42 |] in
+  let n = 4 + Random.State.int st 7 in
+  let p = P.create () in
+  let xs = Array.init n (fun i -> P.binary ~name:(Printf.sprintf "w%d" i) p) in
+  let y = P.integer ~name:"wy" ~lo:0.0 ~hi:6.0 p in
+  for r = 0 to 2 do
+    let expr =
+      Array.fold_left
+        (fun acc x -> L.add_term acc (float_of_int (1 + Random.State.int st 9)) x)
+        (L.var ~coeff:2.0 y) xs
+    in
+    ignore
+      (P.add_constr ~name:(Printf.sprintf "wr%d" r) p expr P.Le
+         (float_of_int (8 + Random.State.int st (3 * n))))
+  done;
+  ignore (P.add_constr p (L.add (L.var xs.(0)) (L.var y)) P.Ge 1.0);
+  P.set_objective p P.Maximize
+    (Array.fold_left
+       (fun acc x -> L.add_term acc (float_of_int (1 + Random.State.int st 9)) x)
+       (L.var ~coeff:3.0 y) xs);
+  Obs.with_trace ~file:path (fun () ->
+      let hooks = Obs.Solver_hooks.wrap Milp.Branch_bound.no_hooks in
+      ignore (Milp.Branch_bound.solve ~time_limit_s:30.0 ~basis_pool:2 ~hooks p));
+  (match Obs.Check.trace_file path with
+   | Ok n -> check_bool "trace non-empty" true (n > 0)
+   | Error e -> Alcotest.fail e);
+  let lines = read_lines path in
+  check_bool "has basis events" true
+    (List.exists (fun l -> contains l {|"cat":"basis"|}) lines);
+  check_bool "has warm_hit points" true
+    (List.exists (fun l -> contains l {|"name":"warm_hit"|}) lines);
+  check_bool "has evict points" true
+    (List.exists (fun l -> contains l {|"name":"evict"|}) lines)
+
 let () =
   Alcotest.run "obs"
     [
@@ -250,5 +294,7 @@ let () =
             test_traced_solve_valid;
           Alcotest.test_case "jobs=1 trace deterministic" `Slow
             test_jobs1_trace_deterministic;
+          Alcotest.test_case "basis events traced" `Quick
+            test_basis_events_traced;
         ] );
     ]
