@@ -848,6 +848,188 @@ let robustness app =
      | Error f -> Fmt.pr "  pipeline: %s@." (Letdma.Pipeline.failure_to_string f))
 
 (* ------------------------------------------------------------------ *)
+(* RESILIENCE: checkpoint/interrupt/resume + supervised retry smoke    *)
+(* ------------------------------------------------------------------ *)
+
+(* The crash-resilience spine end to end on a small generator instance:
+   a durable baseline solve (checkpoint cadence on, file auto-removed on
+   the conclusive exit), a controlled mid-tree interrupt leaving a
+   checkpoint on disk, a resume that must land on the same objective
+   with the same cumulative node count, and a supervised solve that
+   recovers from an undersized LP iteration cap via the escalation
+   ladder. ci.sh drives the same flow through the CLI (chaos gate); this
+   section keeps the library-level numbers machine-readable. *)
+let resilience_section () =
+  section "RESILIENCE: checkpoint/resume round trip and supervised retry";
+  (* first small_config instance that is schedulable and explores a
+     real tree (same selection rule as test_resilience) *)
+  let picked = ref None in
+  let seed = ref 1 in
+  while !picked = None && !seed <= 60 do
+    let app =
+      Workload.Generator.random ~seed:!seed
+        ~config:Workload.Generator.small_config ()
+    in
+    let groups = Groups.compute app in
+    (if not (Comm.Set.is_empty (Groups.s0 groups)) then
+       match Rt_analysis.Sensitivity.gammas app ~alpha:0.3 with
+       | Some s when s.Rt_analysis.Sensitivity.schedulable ->
+         let gamma = s.Rt_analysis.Sensitivity.gamma in
+         let r =
+           Letdma.Solve.solve ~time_limit_s:time_limit Letdma.Formulation.No_obj
+             app groups ~gamma
+         in
+         let n = r.Letdma.Solve.stats.Letdma.Solve.nodes in
+         if
+           r.Letdma.Solve.stats.Letdma.Solve.status
+           = Milp.Branch_bound.Optimal
+           && n >= 10 && n <= 500
+         then picked := Some (!seed, app, groups, gamma, r)
+       | _ -> ());
+    incr seed
+  done;
+  match !picked with
+  | None -> Fmt.pr "  no suitable generator instance in 60 seeds@."
+  | Some (seed, app, groups, gamma, baseline) ->
+    let stats (r : Letdma.Solve.result) = r.Letdma.Solve.stats in
+    let nodes r = (stats r).Letdma.Solve.nodes in
+    emit "seed" (Json.Int seed);
+    emit "baseline_nodes" (Json.Int (nodes baseline));
+    let file = Filename.temp_file "bench_resilience" ".json" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+      (fun () ->
+        let interrupted =
+          Letdma.Solve.solve ~time_limit_s:time_limit ~checkpoint_file:file
+            ~checkpoint_every:8
+            ~interrupt_after_nodes:(nodes baseline / 2)
+            Letdma.Formulation.No_obj app groups ~gamma
+        in
+        let ck_bytes =
+          if Sys.file_exists file then (Unix.stat file).Unix.st_size else 0
+        in
+        emit "interrupted_nodes" (Json.Int (nodes interrupted));
+        emit "checkpoint_bytes" (Json.Int ck_bytes);
+        let resumed =
+          match Resilience.Checkpoint.load file with
+          | Error m ->
+            Fmt.pr "  checkpoint unreadable: %s@." m;
+            None
+          | Ok ck ->
+            Some
+              (Letdma.Solve.solve ~time_limit_s:time_limit
+                 ~checkpoint_file:file ~resume:ck Letdma.Formulation.No_obj
+                 app groups ~gamma)
+        in
+        match resumed with
+        | None -> ()
+        | Some resumed ->
+          let identical =
+            nodes resumed = nodes baseline
+            && resumed.Letdma.Solve.x = baseline.Letdma.Solve.x
+          in
+          emit "resumed_nodes" (Json.Int (nodes resumed));
+          emit "trajectory_identical" (Json.Bool identical);
+          emit "checkpoint_removed_after_resume"
+            (Json.Bool (not (Sys.file_exists file)));
+          Fmt.pr
+            "  seed %d: baseline %d nodes; interrupt at %d left %d bytes; \
+             resume %d nodes (%s)@."
+            seed (nodes baseline) (nodes interrupted) ck_bytes (nodes resumed)
+            (if identical then "trajectory identical" else "DIVERGED"));
+    (* the paper's instance: waters-x1 OBJ-DMAT in the WARMSTART bench
+       configuration (heuristic incumbent, presolve off, 5-node budget),
+       interrupted after 2 nodes and resumed to the same budget — the
+       resumed run must land on the identical incumbent *)
+    (let app = Workload.Waters2019.make ~labels_per_edge:1 () in
+     let groups = Groups.compute app in
+     match Rt_analysis.Sensitivity.gammas app ~alpha:0.2 with
+     | None -> Fmt.pr "  waters-x1: unschedulable@."
+     | Some s ->
+       let gamma = s.Rt_analysis.Sensitivity.gamma in
+       let inst =
+         Letdma.Formulation.make Letdma.Formulation.Min_transfers app groups
+           ~gamma
+       in
+       let incumbent =
+         Option.bind
+           (Letdma.Heuristic.solve_unchecked
+              ~granularity:Letdma.Heuristic.Grouped app groups ~gamma)
+           (Letdma.Formulation.encode inst)
+       in
+       let p = inst.Letdma.Formulation.problem in
+       let solve ?hooks ?on_checkpoint ?resume () =
+         Milp.Branch_bound.solve ~time_limit_s:120.0 ~node_limit:5 ?incumbent
+           ~presolve:false ?hooks ?on_checkpoint ?resume p
+       in
+       let wbase = solve () in
+       let seen = ref 0 in
+       let captured = ref None in
+       let hooks =
+         {
+           Milp.Branch_bound.no_hooks with
+           Milp.Branch_bound.should_stop = (fun () -> !seen >= 2);
+           on_node =
+             (fun ~node:_ ~depth:_ ~bound:_ ~pivots:_ -> incr seen);
+         }
+       in
+       ignore (solve ~hooks ~on_checkpoint:(fun ck -> captured := Some ck) ());
+       match !captured with
+       | None -> Fmt.pr "  waters-x1: interrupt emitted no checkpoint@."
+       | Some ck ->
+         (* through the on-disk format, as a real resume would go *)
+         let doc =
+           Resilience.Checkpoint.make
+             ~fingerprint:(Resilience.Checkpoint.fingerprint p)
+             (Resilience.Checkpoint.Best_first ck)
+         in
+         let bytes = String.length (Resilience.Checkpoint.to_string doc) in
+         let ck =
+           match
+             Resilience.Checkpoint.of_string
+               (Resilience.Checkpoint.to_string doc)
+           with
+           | Ok { Resilience.Checkpoint.ck_state = Best_first bf; _ } -> bf
+           | _ -> ck
+         in
+         let wres = solve ~resume:ck () in
+         let identical =
+           wres.Milp.Branch_bound.obj = wbase.Milp.Branch_bound.obj
+           && wres.Milp.Branch_bound.x = wbase.Milp.Branch_bound.x
+           && wres.Milp.Branch_bound.stats.Milp.Branch_bound.nodes
+              = wbase.Milp.Branch_bound.stats.Milp.Branch_bound.nodes
+         in
+         emit "waters_checkpoint_bytes" (Json.Int bytes);
+         emit "waters_identical" (Json.Bool identical);
+         (match wbase.Milp.Branch_bound.obj with
+          | Some o -> emit "waters_obj" (Json.Num o)
+          | None -> ());
+         Fmt.pr
+           "  waters-x1/OBJ-DMAT: interrupt at node 2 (%d-byte checkpoint), \
+            resumed to the 5-node budget: %s@."
+           bytes
+           (if identical then "identical incumbent" else "DIVERGED"));
+    (* supervised recovery: a 25-pivot LP cap is too tight for this
+       formulation's root LP; the ladder's iter_factor (x4, then x16)
+       must scale it back into a workable one *)
+    let supervised =
+      Letdma.Solve.solve_supervised
+        ~policy:
+          {
+            Resilience.Retry.default_policy with
+            Resilience.Retry.backoff_s = 0.01;
+          }
+        ~time_limit_s:time_limit ~max_lp_iters:25 Letdma.Formulation.No_obj app
+        groups ~gamma
+    in
+    let recovered =
+      (stats supervised).Letdma.Solve.status = Milp.Branch_bound.Optimal
+    in
+    emit "supervised_recovered" (Json.Bool recovered);
+    Fmt.pr "  supervised solve under a 25-pivot LP cap: %s@."
+      (if recovered then "recovered via escalation" else "NOT recovered")
+
+(* ------------------------------------------------------------------ *)
 (* PARALLEL: speedup vs jobs                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1047,6 +1229,7 @@ let () =
     Option.iter fig1_trace !json_prefix;
     run_section "PARALLEL" (fun () -> parallel_section ~smoke:true app);
     run_section "WARMSTART" warmstart_section;
+    run_section "RESILIENCE" resilience_section;
     Fmt.pr "@.bench: smoke sections completed@."
   end
   else begin
@@ -1065,6 +1248,7 @@ let () =
     run_section "WARMSTART" warmstart_section;
     run_section "PARALLEL" (fun () -> parallel_section ~smoke:false app);
     run_section "ROBUSTNESS" (fun () -> robustness app);
+    run_section "RESILIENCE" resilience_section;
     run_section "MICRO" (fun () -> micro app);
     Fmt.pr "@.bench: all sections completed@."
   end

@@ -10,6 +10,8 @@
         exists at the requested alpha)
      5  solving failed (no feasible plan, certification rejected the
         solution, or the degradation ladder was exhausted)
+     7  solve interrupted with a resumable checkpoint on disk (rerun
+        with the `resume` subcommand to continue the search)
    Invalid flag values (e.g. --labels-per-edge 0) are rejected by the
    argument parser itself with Cmdliner's usage error code (124); --jobs
    is the exception — it is validated in the command body so an invalid
@@ -23,6 +25,7 @@ let exit_internal = 1
 let exit_invalid_model = 3
 let exit_unschedulable = 4
 let exit_no_solution = 5
+let exit_interrupted = 7
 
 let err fmt = Fmt.kstr (fun m -> Fmt.epr "letdma: error: %s@." m) fmt
 
@@ -62,6 +65,15 @@ let positive_int what =
     match int_of_string_opt s with
     | Some n when n > 0 -> Ok n
     | Some n -> Error (`Msg (Fmt.str "%s must be positive, got %d" what n))
+    | None -> Error (`Msg (Fmt.str "%s must be an integer, got %S" what s))
+  in
+  Arg.conv (parse, Fmt.int)
+
+let nonneg_int what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | Some n -> Error (`Msg (Fmt.str "%s must be >= 0, got %d" what n))
     | None -> Error (`Msg (Fmt.str "%s must be an integer, got %S" what s))
   in
   Arg.conv (parse, Fmt.int)
@@ -351,43 +363,257 @@ let stats_t =
           "Print solver statistics (branch-and-bound nodes, simplex pivots, \
            pricing counters, presolve reductions, LP time).")
 
+(* --- resilience flags (solve / resume / pipeline) --------------------- *)
+
+let checkpoint_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Write periodic solver checkpoints to $(docv) (versioned JSON, \
+           atomically replaced). An interrupted solve exits with code 7 and \
+           leaves the file behind; continue it with the $(b,resume) \
+           subcommand. Forces sequential solving (jobs = 1); removed \
+           automatically when the solve finishes conclusively.")
+
+let checkpoint_every_t =
+  Arg.(
+    value
+    & opt (positive_int "checkpoint cadence") 64
+    & info [ "checkpoint-every" ] ~docv:"NODES"
+        ~doc:"Checkpoint cadence in branch-and-bound nodes (default 64).")
+
+let interrupt_after_t =
+  Arg.(
+    value
+    & opt (some (positive_int "interrupt threshold")) None
+    & info [ "interrupt-after" ] ~docv:"NODES"
+        ~doc:
+          "Stop the solve after exploring $(docv) nodes (testing hook for the \
+           checkpoint/resume chaos gate; combine with $(b,--checkpoint)).")
+
+let retries_t =
+  Arg.(
+    value
+    & opt (nonneg_int "retries") 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Supervise the solve with up to $(docv) escalating retries \
+           (Dantzig pricing, warm pool off, presolve off, scaled LP \
+           iteration budgets) after an inconclusive or uncertified attempt.")
+
+let backoff_t =
+  Arg.(
+    value
+    & opt (nonneg_float "backoff") 0.1
+    & info [ "backoff" ] ~docv:"SECONDS"
+        ~doc:
+          "Initial retry backoff (doubles per attempt, capped, \
+           deadline-aware). Only meaningful with $(b,--retries).")
+
+(* The durable path accepts alternative workloads: the WATERS case study
+   is too LP-heavy to explore many nodes sequentially, so the chaos gate
+   interrupts a seeded small random instance instead. The resume run must
+   rebuild the same workload (same flags); any mismatch is caught by the
+   checkpoint's model fingerprint. *)
+let workload_t =
+  let kind =
+    Arg.enum [ ("waters", `Waters); ("random", `Random); ("small", `Small) ]
+  in
+  Arg.(
+    value
+    & opt kind `Waters
+    & info [ "workload" ] ~docv:"KIND"
+        ~doc:
+          "Workload for the durable solve path: $(b,waters) (default, the \
+           case study), $(b,random) (seeded generator, default config) or \
+           $(b,small) (seeded generator, small instances that solve to \
+           optimality in seconds — used by the CI chaos gate).")
+
+let make_workload ~labels_per_edge ~seed = function
+  | `Waters -> waters ~labels_per_edge
+  | `Random -> Workload.Generator.random ~seed ()
+  | `Small ->
+    Workload.Generator.random ~seed ~config:Workload.Generator.small_config ()
+
+let status_name = function
+  | Milp.Branch_bound.Optimal -> "optimal"
+  | Milp.Branch_bound.Feasible -> "feasible"
+  | Milp.Branch_bound.Infeasible -> "infeasible"
+  | Milp.Branch_bound.Unbounded -> "unbounded"
+  | Milp.Branch_bound.Unknown -> "unknown"
+
+(* Durable solve path: direct [Solve.solve] (or [solve_supervised]) on the
+   WATERS workload so the checkpoint/retry plumbing is reachable from the
+   command line. Output is line-oriented and greppable — the CI chaos gate
+   compares `objective:` and `nodes:` across interrupted-and-resumed vs
+   uninterrupted runs. *)
+let durable_solve ~time_limit ~objective ~alpha ~presolve ~checkpoint
+    ~checkpoint_every ~interrupt_after ~retries ~backoff ~resume app =
+  let groups = Groups.compute app in
+  match Rt_analysis.Sensitivity.gammas app ~alpha with
+  | None ->
+    err "task set unschedulable at zero jitter";
+    exit_unschedulable
+  | Some s when not s.Rt_analysis.Sensitivity.schedulable ->
+    err "task set unschedulable with alpha=%.2f jitter bound" alpha;
+    exit_unschedulable
+  | Some s ->
+    let gamma = s.Rt_analysis.Sensitivity.gamma in
+    let engine =
+      match resume with
+      | Some ck
+        when List.assoc_opt "engine" ck.Resilience.Checkpoint.ck_meta
+             = Some "dfs" -> Letdma.Solve.Dfs
+      | _ -> Letdma.Solve.Best_first
+    in
+    let r =
+      if retries > 0 then
+        Letdma.Solve.solve_supervised
+          ~policy:
+            {
+              Resilience.Retry.default_policy with
+              Resilience.Retry.attempts = retries + 1;
+              backoff_s = backoff;
+            }
+          ~time_limit_s:time_limit ~engine ~presolve ?checkpoint_file:checkpoint
+          ~checkpoint_every ?resume objective app groups ~gamma
+      else
+        Letdma.Solve.solve ~time_limit_s:time_limit ~engine ~jobs:1 ~presolve
+          ?checkpoint_file:checkpoint ~checkpoint_every ?resume
+          ?interrupt_after_nodes:interrupt_after objective app groups ~gamma
+    in
+    let st = r.Letdma.Solve.stats in
+    Fmt.pr "status: %s@." (status_name st.Letdma.Solve.status);
+    (match r.Letdma.Solve.x with
+     | Some x ->
+       let _, e =
+         Milp.Problem.objective r.Letdma.Solve.instance.Letdma.Formulation.problem
+       in
+       Fmt.pr "objective: %.17g@." (Milp.Linexpr.eval e x)
+     | None -> ());
+    Fmt.pr "nodes: %d@." st.Letdma.Solve.nodes;
+    Fmt.pr "rounds: %d@." st.Letdma.Solve.rounds;
+    let interrupted =
+      match (checkpoint, st.Letdma.Solve.status) with
+      | ( Some file,
+          (Milp.Branch_bound.Feasible | Milp.Branch_bound.Unknown) ) ->
+        Sys.file_exists file
+      | _ -> false
+    in
+    if interrupted then begin
+      Fmt.pr "checkpoint: %s@." (Option.get checkpoint);
+      exit_interrupted
+    end
+    else
+      (match (r.Letdma.Solve.solution, r.Letdma.Solve.certificate) with
+       | Some _, Some (Ok c) ->
+         Fmt.pr "certified: %d checks@." c.Letdma.Certify.checks;
+         0
+       | Some _, (Some (Error _) | None) ->
+         err "solution failed certification";
+         exit_no_solution
+       | None, _ ->
+         err "no solution (%s)" (status_name st.Letdma.Solve.status);
+         exit_no_solution)
+
 let solve_cmd =
   let run verbose time_limit labels_per_edge objective alpha heuristic jobs
-      no_presolve stats trace metrics =
+      no_presolve stats workload seed checkpoint checkpoint_every
+      interrupt_after retries backoff trace metrics =
     guard @@ fun () ->
     setup_logs verbose;
     check_jobs jobs @@ fun () ->
     with_obs ~trace ~metrics @@ fun () ->
-    let app = waters ~labels_per_edge in
-    let solver =
-      if heuristic then Letdma.Experiment.Heuristic
-      else
-        Letdma.Experiment.milp ~time_limit_s:time_limit ~jobs
-          ~presolve:(not no_presolve) objective
+    let durable =
+      checkpoint <> None || interrupt_after <> None || retries > 0
+      || workload <> `Waters
     in
-    match Letdma.Experiment.run_config ~solver app ~alpha with
-    | Error e ->
-      err "%s" (Letdma.Experiment.error_to_string e);
-      exit_of_experiment_error e
-    | Ok r ->
-      Fmt.pr "%a@.@.%a@."
-        (Letdma.Solution.pp app)
-        r.Letdma.Experiment.solution
-        (fun ppf -> Letdma.Report.fig2_subplot ppf app)
-        r;
-      if stats then
-        (match r.Letdma.Experiment.solve_stats with
-         | Some s -> Fmt.pr "@.solver stats: @[%a@]@." Letdma.Solve.pp_stats s
-         | None -> Fmt.pr "@.solver stats: none (heuristic solve)@.");
-      0
+    let app =
+      if durable then make_workload ~labels_per_edge ~seed workload
+      else waters ~labels_per_edge
+    in
+    if durable then
+      durable_solve ~time_limit ~objective ~alpha ~presolve:(not no_presolve)
+        ~checkpoint ~checkpoint_every ~interrupt_after ~retries ~backoff
+        ~resume:None app
+    else
+      let solver =
+        if heuristic then Letdma.Experiment.Heuristic
+        else
+          Letdma.Experiment.milp ~time_limit_s:time_limit ~jobs
+            ~presolve:(not no_presolve) objective
+      in
+      match Letdma.Experiment.run_config ~solver app ~alpha with
+      | Error e ->
+        err "%s" (Letdma.Experiment.error_to_string e);
+        exit_of_experiment_error e
+      | Ok r ->
+        Fmt.pr "%a@.@.%a@."
+          (Letdma.Solution.pp app)
+          r.Letdma.Experiment.solution
+          (fun ppf -> Letdma.Report.fig2_subplot ppf app)
+          r;
+        if stats then
+          (match r.Letdma.Experiment.solve_stats with
+           | Some s -> Fmt.pr "@.solver stats: @[%a@]@." Letdma.Solve.pp_stats s
+           | None -> Fmt.pr "@.solver stats: none (heuristic solve)@.");
+        0
   in
   Cmd.v
     (Cmd.info "solve"
-       ~doc:"Solve one configuration and report the resulting plan/latencies.")
+       ~doc:
+         "Solve one configuration and report the resulting plan/latencies. \
+          With $(b,--checkpoint), $(b,--interrupt-after) or $(b,--retries) \
+          the solve runs the durable sequential path and reports greppable \
+          status/objective/nodes lines.")
     Term.(
       const run $ verbose_t $ time_limit_t $ labels_per_edge_t $ objective_t
-      $ alpha_t $ heuristic_t $ jobs_t $ no_presolve_t $ stats_t $ trace_t
-      $ metrics_t)
+      $ alpha_t $ heuristic_t $ jobs_t $ no_presolve_t $ stats_t $ workload_t
+      $ seed_t $ checkpoint_t $ checkpoint_every_t $ interrupt_after_t
+      $ retries_t $ backoff_t $ trace_t $ metrics_t)
+
+(* --- resume ------------------------------------------------------------ *)
+
+let resume_cmd =
+  let checkpoint_req_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:"Checkpoint file written by an interrupted $(b,solve).")
+  in
+  let run verbose time_limit labels_per_edge objective alpha no_presolve
+      workload seed checkpoint checkpoint_every interrupt_after retries
+      backoff trace metrics =
+    guard @@ fun () ->
+    setup_logs verbose;
+    with_obs ~trace ~metrics @@ fun () ->
+    match Resilience.Checkpoint.load checkpoint with
+    | Error m ->
+      err "checkpoint %s: %s" checkpoint m;
+      exit_internal
+    | Ok ck ->
+      let app = make_workload ~labels_per_edge ~seed workload in
+      durable_solve ~time_limit ~objective ~alpha ~presolve:(not no_presolve)
+        ~checkpoint:(Some checkpoint) ~checkpoint_every ~interrupt_after
+        ~retries ~backoff ~resume:(Some ck) app
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Resume an interrupted solve from its checkpoint file. The workload \
+          flags (--workload, --seed, --labels-per-edge, --objective, \
+          --alpha) must match the original solve; a mismatch is rejected by \
+          the checkpoint's model fingerprint. Keeps checkpointing to the \
+          same file, so a resumed run can itself be interrupted and resumed \
+          again.")
+    Term.(
+      const run $ verbose_t $ time_limit_t $ labels_per_edge_t $ objective_t
+      $ alpha_t $ no_presolve_t $ workload_t $ seed_t $ checkpoint_req_t
+      $ checkpoint_every_t $ interrupt_after_t $ retries_t $ backoff_t
+      $ trace_t $ metrics_t)
 
 (* --- pipeline --------------------------------------------------------- *)
 
@@ -401,13 +627,17 @@ let pipeline_cmd =
             "Total wall-clock budget shared by every rung of the ladder \
              (MILP rounds, perturbed retry, fallbacks).")
   in
-  let run verbose labels_per_edge objective alpha budget jobs trace metrics =
+  let run verbose labels_per_edge objective alpha budget jobs retries backoff
+      trace metrics =
     guard @@ fun () ->
     setup_logs verbose;
     check_jobs jobs @@ fun () ->
     with_obs ~trace ~metrics @@ fun () ->
     let app = waters ~labels_per_edge in
-    match Letdma.Pipeline.run ~objective ~budget_s:budget ~alpha ~jobs app with
+    match
+      Letdma.Pipeline.run ~objective ~budget_s:budget ~alpha ~jobs ~retries
+        ~backoff_s:backoff app
+    with
     | Ok o ->
       Fmt.pr "%a@." (Letdma.Pipeline.pp_outcome app) o;
       0
@@ -427,7 +657,7 @@ let pipeline_cmd =
           solution.")
     Term.(
       const run $ verbose_t $ labels_per_edge_t $ objective_t $ alpha_t
-      $ budget_t $ jobs_t $ trace_t $ metrics_t)
+      $ budget_t $ jobs_t $ retries_t $ backoff_t $ trace_t $ metrics_t)
 
 (* --- fault injection -------------------------------------------------- *)
 
@@ -572,6 +802,7 @@ let main =
       table1_cmd;
       alpha_cmd;
       solve_cmd;
+      resume_cmd;
       pipeline_cmd;
       faults_cmd;
       random_cmd;

@@ -61,4 +61,42 @@ timeout 120 ./_build/default/bin/letdma_cli.exe solve \
   ci_trace.jsonl BENCH_FIG1_TRACE.jsonl BENCH_*.json
 rm -f ci_trace.jsonl
 
+echo "== chaos gate (checkpoint / interrupt / resume) =="
+# Durable-solve round trip through the CLI: an uninterrupted baseline, a
+# run killed mid-tree (exit 7, checkpoint left on disk), and a resume
+# that must land on the exact same objective and cumulative node count.
+# The instance (small generator workload, seed 5, OBJ-DMAT) certifies at
+# the 1e-6 residual boundary, so `solve` exits 5 (certification) rather
+# than 0 — the gate tolerates exactly that and compares the greppable
+# solver lines instead.
+CLI=./_build/default/bin/letdma_cli.exe
+CK=ci_chaos_ck.json
+CHAOS="--workload small --seed 5 --objective dmat --time-limit 120"
+rm -f "$CK"
+$CLI solve $CHAOS --checkpoint "$CK" > ci_chaos_base.out || [ $? -eq 5 ]
+grep -q '^status: optimal$' ci_chaos_base.out || {
+  echo "FAIL: baseline durable solve not optimal"; exit 1; }
+[ ! -f "$CK" ] || {
+  echo "FAIL: conclusive solve left its checkpoint behind"; exit 1; }
+$CLI solve $CHAOS --checkpoint "$CK" --interrupt-after 300 \
+  > ci_chaos_int.out && rc=0 || rc=$?
+[ "$rc" -eq 7 ] || {
+  echo "FAIL: interrupted solve exited $rc, want 7"; exit 1; }
+[ -f "$CK" ] || { echo "FAIL: interrupt left no checkpoint"; exit 1; }
+$CLI resume $CHAOS --checkpoint "$CK" > ci_chaos_res.out || [ $? -eq 5 ]
+grep -q '^status: optimal$' ci_chaos_res.out || {
+  echo "FAIL: resumed solve not optimal"; exit 1; }
+base_obj=$(sed -n 's/^objective: //p' ci_chaos_base.out)
+res_obj=$(sed -n 's/^objective: //p' ci_chaos_res.out)
+base_nodes=$(sed -n 's/^nodes: //p' ci_chaos_base.out)
+res_nodes=$(sed -n 's/^nodes: //p' ci_chaos_res.out)
+echo "chaos gate: baseline obj ${base_obj} (${base_nodes} nodes), resumed obj ${res_obj} (${res_nodes} nodes)"
+[ -n "$base_obj" ] && [ "$base_obj" = "$res_obj" ] || {
+  echo "FAIL: resumed objective '${res_obj}' != baseline '${base_obj}'"; exit 1; }
+[ -n "$base_nodes" ] && [ "$base_nodes" = "$res_nodes" ] || {
+  echo "FAIL: resumed node count '${res_nodes}' != baseline '${base_nodes}'"; exit 1; }
+[ ! -f "$CK" ] || {
+  echo "FAIL: conclusive resume left its checkpoint behind"; exit 1; }
+rm -f ci_chaos_base.out ci_chaos_int.out ci_chaos_res.out
+
 echo "== ci.sh: all green =="

@@ -151,10 +151,35 @@ let violations_summary app vs =
 
 (* --- the ladder ------------------------------------------------------ *)
 
-let run ?(milp_solve = default_milp_solve) ?(objective = Formulation.No_obj)
+(* Supervised MILP rung: route the rung through
+   [Solve.solve_supervised], whose retry ladder escalates solver
+   parameters (Dantzig pricing, no warm pool, no presolve, scaled
+   iteration budgets) between attempts. The supervised path runs
+   jobs=1 and does not thread the basis [chain] — escalations may
+   disable warm starts, so a chained basis would be misleading. *)
+let supervised_milp_solve ~policy ~deadline_s ~engine ~jobs:_ ~presolve ~cancel
+    ~warm ~chain:_ ~options objective app groups ~gamma =
+  Solve.solve_supervised ~policy ~options ~deadline_s ~engine ?cancel ~presolve
+    ?warm objective app groups ~gamma
+
+let run ?milp_solve ?(objective = Formulation.No_obj)
     ?(options = Formulation.default_options) ?(engine = Solve.Best_first)
     ?(warm_start = true) ?(budget_s = 60.0) ?(alpha = 0.2) ?(jobs = 1)
-    ?(presolve = true) app =
+    ?(presolve = true) ?(retries = 0) ?(backoff_s = 0.1) app =
+  let milp_solve =
+    match milp_solve with
+    | Some f -> f
+    | None when retries > 0 ->
+      let policy =
+        {
+          Resilience.Retry.default_policy with
+          Resilience.Retry.attempts = retries + 1;
+          backoff_s;
+        }
+      in
+      supervised_milp_solve ~policy
+    | None -> default_milp_solve
+  in
   let t0 = Milp.Clock.now () in
   let deadline = t0 +. budget_s in
   match validate_app app with

@@ -93,7 +93,19 @@ type milp_solver =
     [presolve] (default [true]) is handed to every MILP rung: root
     presolve reduces the model before branch-and-bound. The reduction is
     keyed so solver trajectories match the unpresolved model exactly;
-    [presolve:false] opts out for debugging or measurement. *)
+    [presolve:false] opts out for debugging or measurement.
+
+    [retries] (default 0) supervises the MILP rungs: with [retries > 0]
+    each rung runs through {!Solve.solve_supervised} with up to
+    [retries] extra attempts, escalating solver parameters between them
+    (Dantzig pricing, warm pool off, presolve off, scaled LP iteration
+    budgets) and sleeping an exponential backoff starting at [backoff_s]
+    (default 0.1 s, capped, deadline-aware). The supervised path runs
+    sequentially ([jobs] is not used inside a rung) and skips the
+    inter-rung basis chain. If every supervised attempt fails, the
+    ladder degrades to the heuristic and baseline rungs as usual — the
+    ladder itself is the final fallback. A caller-supplied [milp_solve]
+    hook takes precedence: [retries] then has no effect. *)
 val run :
   ?milp_solve:milp_solver ->
   ?objective:Formulation.objective ->
@@ -104,5 +116,7 @@ val run :
   ?alpha:float ->
   ?jobs:int ->
   ?presolve:bool ->
+  ?retries:int ->
+  ?backoff_s:float ->
   App.t ->
   (outcome, failure) result

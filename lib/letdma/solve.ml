@@ -12,6 +12,9 @@ let src = Logs.Src.create "letdma.solve" ~doc:"lazy MILP solver driver"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+module Checkpoint = Resilience.Checkpoint
+module Retry = Resilience.Retry
+
 type stats = {
   rounds : int; (* lazy iterations (1 = no violation found) *)
   c6_constraints : int; (* Constraint 6 rows generated *)
@@ -48,8 +51,14 @@ type engine = Dfs | Best_first
    portfolio race over a pool of [jobs] domains (the diversified panel
    includes both engines, so [engine] only selects the sequential one).
    [cancel] lets an outer racer — the pipeline running primary and
-   perturbed models concurrently — abort the round between nodes. *)
-let bb_solve ~jobs ~cancel ~presolve ?root_basis ?basis_out ?basis_pool engine =
+   perturbed models concurrently — abort the round between nodes.
+   [stop_after_nodes] interrupts the sequential engine after that many
+   explored nodes — the controlled-interrupt half of the chaos gate
+   (checkpoint, kill, resume). Checkpoint/resume arguments are
+   sequential-only and engine-specific; [bb_solve] receives them
+   pre-dispatched as [bf_ck] (best-first) / [dfs_ck] (coarse). *)
+let bb_solve ~jobs ~cancel ~presolve ?root_basis ?basis_out ?basis_pool
+    ?pricing ?max_lp_iters ?stop_after_nodes ?bf_ck ?dfs_ck engine =
   if jobs > 1 then fun ~deadline ~node_limit ?incumbent p ->
     (* portfolio workers each own a private basis pool; cross-solve basis
        chaining is a sequential-only feature (no sharing across domains) *)
@@ -59,7 +68,7 @@ let bb_solve ~jobs ~cancel ~presolve ?root_basis ?basis_out ?basis_pool engine =
     in
     r.Parallel.Portfolio.solution
   else
-    let hooks =
+    let base =
       match cancel with
       | None -> Milp.Branch_bound.no_hooks
       | Some tok ->
@@ -68,14 +77,41 @@ let bb_solve ~jobs ~cancel ~presolve ?root_basis ?basis_out ?basis_pool engine =
           should_stop = (fun () -> Parallel.Pool.Token.cancelled tok);
         }
     in
+    let hooks =
+      match stop_after_nodes with
+      | None -> base
+      | Some limit ->
+        let seen = ref 0 in
+        {
+          base with
+          should_stop =
+            (fun () -> !seen >= limit || base.Milp.Branch_bound.should_stop ());
+          on_node =
+            (fun ~node ~depth ~bound ~pivots ->
+              incr seen;
+              base.Milp.Branch_bound.on_node ~node ~depth ~bound ~pivots);
+        }
+    in
     let hooks = Obs.Solver_hooks.wrap hooks in
     match engine with
     | Dfs -> fun ~deadline ~node_limit ?incumbent p ->
+        let on_checkpoint, checkpoint_every, resume =
+          match dfs_ck with
+          | Some (f, every, resume) -> (Some f, every, resume)
+          | None -> (None, 0, None)
+        in
         Milp.Dfs_solver.solve ~deadline ~node_limit ?incumbent ~hooks ~presolve
-          ?root_basis ?basis_out p
+          ?root_basis ?basis_out ?pricing ?max_lp_iters ~checkpoint_every
+          ?on_checkpoint ?resume p
     | Best_first -> fun ~deadline ~node_limit ?incumbent p ->
+        let on_checkpoint, checkpoint_every, checkpoint_every_s, resume =
+          match bf_ck with
+          | Some (f, every, every_s, resume) -> (Some f, every, every_s, resume)
+          | None -> (None, 0, None, None)
+        in
         Milp.Branch_bound.solve ~deadline ~node_limit ?incumbent ~hooks
-          ~presolve ?root_basis ?basis_out ?basis_pool p
+          ~presolve ?root_basis ?basis_out ?basis_pool ?pricing ?max_lp_iters
+          ~checkpoint_every ?checkpoint_every_s ?on_checkpoint ?resume p
 
 (* (pattern, class) blocks whose projected transfers break contiguity. *)
 let find_violations inst (sol : Solution.t) =
@@ -103,7 +139,9 @@ let find_violations inst (sol : Solution.t) =
 let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
     ?deadline_s ?(node_limit = 200_000) ?(max_rounds = 50) ?(engine = Best_first)
     ?(jobs = 1) ?cancel ?(presolve = true) ?warm ?root_basis ?basis_out
-    ?basis_pool objective app groups ~gamma =
+    ?basis_pool ?pricing ?max_lp_iters ?checkpoint_file ?(checkpoint_every = 64)
+    ?checkpoint_every_s ?resume ?interrupt_after_nodes objective app groups
+    ~gamma =
   let t0 = Milp.Clock.now () in
   (* One absolute monotonic deadline shared by every lazy round (and, via
      [deadline_s], by every rung of a degradation ladder): k rounds can
@@ -113,6 +151,55 @@ let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
   Log.info (fun f -> f "built %s model: %s"
                (Formulation.objective_name objective)
                (Formulation.stats_string inst));
+  (* Checkpoint/resume is a sequential-only feature: a portfolio race has
+     no single trajectory to serialize. *)
+  let durable = checkpoint_file <> None || resume <> None in
+  if durable && jobs > 1 then
+    invalid_arg "Solve.solve: checkpoint/resume requires jobs = 1";
+  if interrupt_after_nodes <> None && jobs > 1 then
+    invalid_arg "Solve.solve: interrupt_after_nodes requires jobs = 1";
+  let fp = if durable then Checkpoint.fingerprint inst.Formulation.problem
+    else "" in
+  (* Validate and dispatch a resume checkpoint to the matching engine. *)
+  let bf_resume, dfs_resume =
+    match resume with
+    | None -> (None, None)
+    | Some (ck : Checkpoint.t) ->
+      if ck.Checkpoint.ck_fingerprint <> fp then
+        invalid_arg
+          (Fmt.str
+             "Solve.solve: checkpoint fingerprint %s does not match the model \
+              (%s) — different workload, objective, options or a later lazy \
+              round"
+             ck.Checkpoint.ck_fingerprint fp);
+      (match (ck.Checkpoint.ck_state, engine) with
+       | Checkpoint.Best_first bf, Best_first -> (Some bf, None)
+       | Checkpoint.Dfs d, Dfs -> (None, Some d)
+       | Checkpoint.Best_first _, Dfs | Checkpoint.Dfs _, Best_first ->
+         invalid_arg
+           "Solve.solve: checkpoint was taken by the other engine \
+            (best-first vs dfs)")
+  in
+  (* Writer: wrap each engine snapshot in a versioned file. Only round 1
+     checkpoints are written — later lazy rounds solve a model grown by
+     Constraint-6 cuts that a fresh process cannot reproduce without
+     replaying the earlier rounds, so their fingerprint would never match
+     on load. (Nearly all instances finish in round 1; see EXPERIMENTS.) *)
+  let write_state state =
+    match checkpoint_file with
+    | None -> ()
+    | Some file ->
+      let meta =
+        [
+          ("objective", Formulation.objective_name objective);
+          ("engine", match engine with Best_first -> "best_first" | Dfs -> "dfs");
+        ]
+      in
+      (match Checkpoint.save file (Checkpoint.make ~meta ~fingerprint:fp state)
+       with
+       | Ok () -> ()
+       | Error m -> Log.err (fun f -> f "checkpoint write failed: %s" m))
+  in
   (* The warm start is re-encoded at every round: lazy Constraint-6
      generation appends variables (the LG conjunctions), so a vector from
      an earlier round would no longer match the problem. *)
@@ -140,12 +227,31 @@ let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
     if remaining <= 0.5 || round > max_rounds then
       (None, Milp.Branch_bound.Unknown, None, round - 1)
     else begin
+      let bf_ck, dfs_ck =
+        if (not durable) || round > 1 then (None, None)
+        else
+          match engine with
+          | Best_first ->
+            ( Some
+                ( (fun ck -> write_state (Checkpoint.Best_first ck)),
+                  checkpoint_every,
+                  checkpoint_every_s,
+                  bf_resume ),
+              None )
+          | Dfs ->
+            ( None,
+              Some
+                ( (fun ck -> write_state (Checkpoint.Dfs ck)),
+                  checkpoint_every,
+                  dfs_resume ) )
+      in
       let bb =
         Obs.span ~cat:"solver" "round" ~fields:[ ("round", Obs.Int round) ]
         @@ fun () ->
         bb_solve ~jobs ~cancel ~presolve ?root_basis ?basis_out ?basis_pool
-          engine ~deadline ~node_limit ?incumbent:(encode_warm ())
-          inst.Formulation.problem
+          ?pricing ?max_lp_iters ?stop_after_nodes:interrupt_after_nodes
+          ?bf_ck ?dfs_ck engine ~deadline ~node_limit
+          ?incumbent:(encode_warm ()) inst.Formulation.problem
       in
       nodes_total := !nodes_total + bb.Milp.Branch_bound.stats.Milp.Branch_bound.nodes;
       lp_total :=
@@ -177,6 +283,19 @@ let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
     end
   in
   let accepted, status, gap, rounds = loop 1 in
+  (* A conclusive finish makes the checkpoint stale (resuming it would
+     re-prove what is already proven): remove it so an operator loop
+     "resume while a checkpoint exists" terminates. *)
+  (match (checkpoint_file, status) with
+   | ( Some file,
+       ( Milp.Branch_bound.Optimal | Milp.Branch_bound.Infeasible
+       | Milp.Branch_bound.Unbounded ) )
+     when Sys.file_exists file -> (
+     try
+       Sys.remove file;
+       Log.info (fun f -> f "solve conclusive: checkpoint %s removed" file)
+     with Sys_error _ -> ())
+   | _ -> ());
   let solution = Option.map fst accepted in
   let x = Option.map snd accepted in
   (* independent certification of accepted solutions: the decoded
@@ -227,6 +346,76 @@ let solve ?(options = Formulation.default_options) ?(time_limit_s = 60.0)
       };
     instance = inst;
   }
+
+(* Supervised solve: wrap {!solve} in [Resilience.Retry]'s escalation
+   ladder. An attempt is retried when it ends inconclusively with no
+   solution (status [Unknown] — iteration-limit interrupts land here) or
+   when the accepted solution fails independent certification (numerical
+   trouble); escalations loosen pricing to Dantzig, disable the
+   warm-basis pool and presolve, and scale [max_lp_iters]. When a
+   checkpoint file is configured, retries resume from the latest
+   checkpoint instead of restarting — with the serialized basis pool
+   dropped if the escalation rung disables warm starts. *)
+let solve_supervised ?policy ?options ?(time_limit_s = 60.0) ?deadline_s
+    ?node_limit ?max_rounds ?(engine = Best_first) ?cancel ?(presolve = true)
+    ?warm ?basis_pool ?pricing ?max_lp_iters ?checkpoint_file
+    ?checkpoint_every ?checkpoint_every_s ?resume objective app groups ~gamma =
+  let deadline =
+    match deadline_s with
+    | Some d -> d
+    | None -> Milp.Clock.now () +. time_limit_s
+  in
+  let attempt (esc : Retry.escalation) =
+    let pricing =
+      if esc.Retry.loosen_pricing then Some Milp.Simplex_core.Dantzig
+      else pricing
+    in
+    let basis_pool = if esc.Retry.disable_warm then Some 0 else basis_pool in
+    let presolve = presolve && not esc.Retry.disable_presolve in
+    let max_lp_iters =
+      Option.map (fun m -> m * esc.Retry.iter_factor) max_lp_iters
+    in
+    (* Later attempts continue from the latest checkpoint when one is on
+       disk; a fresh attempt starts over otherwise. *)
+    let resume =
+      if esc.Retry.attempt = 0 then resume
+      else
+        match checkpoint_file with
+        | Some file when Sys.file_exists file -> (
+          match Checkpoint.load file with
+          | Ok ck ->
+            let ck =
+              if not esc.Retry.disable_warm then ck
+              else
+                match ck.Checkpoint.ck_state with
+                | Checkpoint.Best_first bf ->
+                  {
+                    ck with
+                    Checkpoint.ck_state =
+                      Checkpoint.Best_first
+                        { bf with Milp.Branch_bound.ck_pool = [] };
+                  }
+                | Checkpoint.Dfs _ -> ck
+            in
+            Some ck
+          | Error m ->
+            Log.warn (fun f ->
+                f "retry: checkpoint unreadable (%s); restarting" m);
+            resume)
+        | Some _ | None -> resume
+    in
+    solve ?options ~deadline_s:deadline ?node_limit ?max_rounds ~engine
+      ~jobs:1 ?cancel ~presolve ?warm ?basis_pool ?pricing ?max_lp_iters
+      ?checkpoint_file ?checkpoint_every ?checkpoint_every_s ?resume objective
+      app groups ~gamma
+  in
+  let classify (r : result) =
+    match (r.stats.status, r.solution, r.certificate) with
+    | Milp.Branch_bound.Unknown, None, _ -> `Retry "no solution (unknown)"
+    | _, Some _, Some (Error _) -> `Retry "certification failed"
+    | _ -> `Ok
+  in
+  Retry.run ?policy ~deadline ~classify attempt
 
 let pp_stats ppf s =
   let lp = s.lp in

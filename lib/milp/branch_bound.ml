@@ -141,6 +141,36 @@ type node = {
   parent : int; (* basis-pool key of the parent's optimal basis; -1 none *)
 }
 
+(* Checkpoint: everything the best-first search mutates, captured so a
+   later [solve ~resume] continues the exact same trajectory. Frontier
+   nodes are kept in pop order ((prio, tie) is a total order), the basis
+   pool sorted by node id — both canonical, so capturing a restored
+   checkpoint reproduces it field-for-field. *)
+type ck_node = {
+  ck_prio : float;        (* heap priority: LP bound, minimization sense *)
+  ck_node_tie : int;      (* heap insertion tie-breaker *)
+  ck_depth : int;
+  ck_parent : int;        (* basis-pool key of the parent basis; -1 none *)
+  ck_overrides : (int * float * float) list;
+}
+
+type checkpoint = {
+  ck_nodes : int;
+  ck_tie : int;
+  ck_simplex_solves : int;
+  ck_best : (float * float array) option;
+      (* incumbent, objective in the problem's own sense *)
+  ck_cutoff_foreign : bool;
+  ck_foreign_prunes : int;
+  ck_cold_ref_pivots : int option;
+  ck_counters : Simplex_core.counters;
+  ck_lp_time_s : float;
+  ck_frontier : ck_node list;
+  ck_pool : (int * Simplex_core.Basis.t * int * int) list;
+      (* (node id, basis, live refcount, LRU tick), sorted by id *)
+  ck_pool_tick : int;
+}
+
 (* Minimal binary min-heap on (priority, tie, payload). *)
 module Heap = struct
   type 'a t = {
@@ -270,8 +300,10 @@ let presolved_infeasible ~sense ~time_s ~(pre : Presolve.stats) row =
 let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
     ?(int_eps = 1.0e-6) ?incumbent ?(branch_seed = 0) ?(hooks = no_hooks)
     ?(log_every = 0) ?(pricing = Simplex_core.Devex) ?(presolve = true)
-    ?root_basis ?basis_out ?(basis_pool = 128) (p0 : Problem.t) : solution =
-  match feasibility_shortcut p0 incumbent with
+    ?root_basis ?basis_out ?(basis_pool = 128) ?max_lp_iters
+    ?(checkpoint_every = 0) ?checkpoint_every_s ?on_checkpoint ?resume
+    (p0 : Problem.t) : solution =
+  match (if resume = None then feasibility_shortcut p0 incumbent else None) with
   | Some early -> early
   | None ->
   let t0 = Clock.now () in
@@ -408,18 +440,111 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
         Log.debug (fun f -> f "imported foreign incumbent: obj=%g" obj)
       end
   in
-  (match incumbent with
-   | Some x ->
-     if Problem.check_solution ~eps:1.0e-6 p x = [] then
-       consider_incumbent x (Linexpr.eval obj_expr x)
-     else Log.warn (fun f -> f "warm incumbent rejected: infeasible")
-   | None -> ());
   let heap = Heap.create () in
   let tie = ref 0 in
-  Heap.push heap neg_infinity 0 { overrides = []; depth = 0; parent = -1 };
   (* reference cost of a from-scratch LP solve (the root's), used to
      estimate the pivots each warm reoptimization avoided *)
   let cold_ref_pivots = ref None in
+  (match resume with
+   | None ->
+     (match incumbent with
+      | Some x ->
+        if Problem.check_solution ~eps:1.0e-6 p x = [] then
+          consider_incumbent x (Linexpr.eval obj_expr x)
+        else Log.warn (fun f -> f "warm incumbent rejected: infeasible")
+      | None -> ());
+     Heap.push heap neg_infinity 0 { overrides = []; depth = 0; parent = -1 }
+   | Some ck ->
+     (* rehydrate: counters, incumbent, frontier and basis pool continue
+        exactly where the checkpointed search stopped — no root push, no
+        re-fired incumbent hook *)
+     Simplex_core.set_counters ~into:cnt ck.ck_counters;
+     nodes := ck.ck_nodes;
+     simplex_solves := ck.ck_simplex_solves;
+     foreign_prunes := ck.ck_foreign_prunes;
+     cutoff_foreign := ck.ck_cutoff_foreign;
+     cold_ref_pivots := ck.ck_cold_ref_pivots;
+     lp_time := ck.ck_lp_time_s;
+     tie := ck.ck_tie;
+     (match ck.ck_best with
+      | Some (obj, x) ->
+        best_obj := sense *. obj;
+        best_x := Some (Array.copy x)
+      | None -> ());
+     List.iter
+       (fun cn ->
+         Heap.push heap cn.ck_prio cn.ck_node_tie
+           {
+             overrides = cn.ck_overrides;
+             depth = cn.ck_depth;
+             parent = cn.ck_parent;
+           })
+       ck.ck_frontier;
+     List.iter
+       (fun (id, basis, refs, last) ->
+         if not (Hashtbl.mem pool id) then begin
+           Hashtbl.replace pool id (basis, ref refs, ref last);
+           incr pool_size
+         end)
+       ck.ck_pool;
+     pool_tick := ck.ck_pool_tick;
+     Log.info (fun f ->
+         f "resumed from checkpoint: %d nodes explored, %d open, %d bases"
+           ck.ck_nodes (List.length ck.ck_frontier) (List.length ck.ck_pool)));
+  let build_checkpoint () =
+    let frontier =
+      Heap.fold
+        (fun acc (prio, t, nd) ->
+          {
+            ck_prio = prio;
+            ck_node_tie = t;
+            ck_depth = nd.depth;
+            ck_parent = nd.parent;
+            ck_overrides = nd.overrides;
+          }
+          :: acc)
+        [] heap
+      |> List.sort (fun a b ->
+             if a.ck_prio <> b.ck_prio then Float.compare a.ck_prio b.ck_prio
+             else compare b.ck_node_tie a.ck_node_tie)
+    in
+    let pool_entries =
+      Hashtbl.fold
+        (fun id (basis, refs, last) acc -> (id, basis, !refs, !last) :: acc)
+        pool []
+      |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+    in
+    {
+      ck_nodes = !nodes;
+      ck_tie = !tie;
+      ck_simplex_solves = !simplex_solves;
+      ck_best = Option.map (fun x -> (sense *. !best_obj, Array.copy x)) !best_x;
+      ck_cutoff_foreign = !cutoff_foreign;
+      ck_foreign_prunes = !foreign_prunes;
+      ck_cold_ref_pivots = !cold_ref_pivots;
+      ck_counters = Simplex_core.copy_counters cnt;
+      ck_lp_time_s = !lp_time;
+      ck_frontier = frontier;
+      ck_pool = pool_entries;
+      ck_pool_tick = !pool_tick;
+    }
+  in
+  let last_ck = ref (Clock.now ()) in
+  let emit_checkpoint () =
+    match on_checkpoint with
+    | None -> ()
+    | Some f ->
+      last_ck := Clock.now ();
+      f (build_checkpoint ())
+  in
+  let checkpoint_due () =
+    on_checkpoint <> None
+    && ((checkpoint_every > 0 && !nodes mod checkpoint_every = 0)
+       ||
+       match checkpoint_every_s with
+       | Some s -> Clock.now () -. !last_ck >= s
+       | None -> false)
+  in
   let root_snapshot = ref None in
   let hit_limit = ref false in
   let root_infeasible = ref false in
@@ -430,9 +555,12 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
   while !continue do
     match Heap.pop heap with
     | None -> continue := false
-    | Some (prio, _, node) ->
+    | Some (prio, ptie, node) ->
       import_foreign ();
       if hooks.should_stop () then begin
+        (* interrupted: the popped node is still unexplored — put it back
+           so a final checkpoint captures the complete frontier *)
+        Heap.push heap prio ptie node;
         hit_limit := true;
         continue := false
       end
@@ -443,6 +571,7 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
         continue := false
       end
       else if !nodes >= node_limit || Clock.now () > deadline then begin
+        Heap.push heap prio ptie node;
         hit_limit := true;
         continue := false
       end
@@ -476,7 +605,7 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
         in
         let wr =
           Simplex.solve_warm ~pricing ~counters:cnt ~deadline ~bounds:(lo, hi)
-            ?basis:offered p
+            ?max_iters:max_lp_iters ?basis:offered p
         in
         let lp_result = wr.Simplex.wr_result in
         lp_time := !lp_time +. (Clock.now () -. lp_t0);
@@ -518,8 +647,16 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
              continue := false
            end
          | Simplex.Iteration_limit ->
-           (* treat as unexplored: drop the node but flag the limit *)
-           hit_limit := true
+           (* the node's LP was cut short: un-count the exploration, put
+              the node back in the frontier and end the search so a
+              caller-side retry policy can escalate [max_lp_iters] and
+              resume without losing the subtree (its parent basis was
+              already consumed, so the retry re-solves it cold) *)
+           decr nodes;
+           decr simplex_solves;
+           Heap.push heap prio ptie node;
+           hit_limit := true;
+           continue := false
          | Simplex.Optimal { obj; x } ->
            let bound_min = sense *. obj in
            if bound_min >= !best_obj -. 1.0e-9 then begin
@@ -578,9 +715,13 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 200_000)
                    parent = my_id;
                  }
              end
-           end)
+           end);
+        if checkpoint_due () then emit_checkpoint ()
       end
   done;
+  (* interrupt checkpoint: deadline, node limit, should_stop or an LP
+     iteration limit — anything that leaves unexplored work behind *)
+  if !hit_limit then emit_checkpoint ();
   (match basis_out with
    | Some r -> r := !root_snapshot
    | None -> ());

@@ -114,6 +114,53 @@ type hooks = {
 (** Inert hooks: never stop, publish nowhere, import nothing. *)
 val no_hooks : hooks
 
+(** {1 Checkpointing}
+
+    A {!checkpoint} is a complete snapshot of the search's mutable state:
+    the open-node frontier (with each node's LP bound, heap tie-breaker
+    and branching decisions), the incumbent, the trajectory counters and
+    the warm-basis pool. Resuming from it with the same problem and the
+    same solver parameters continues the search along a bit-identical
+    trajectory — same node order, same LP pivot counts, same final
+    objective — because every input to the deterministic search loop is
+    restored, including the basis pool (a warm and a cold LP solve can
+    land on different optimal vertices of a degenerate LP, so the pool is
+    part of the trajectory).
+
+    Wall-clock fields ([ck_lp_time_s], and [stats.time_s] of the resumed
+    solve) are cumulative across the interrupted segments and are the
+    only fields exempt from the bit-identity claim. *)
+
+(** One open node of the frontier. [ck_prio]/[ck_node_tie] are the heap
+    key (parent LP bound in minimization sense, insertion tie-breaker);
+    [ck_overrides] are the branching bound changes relative to the root,
+    as [(var, lo, hi)] with one-sided infinities. *)
+type ck_node = {
+  ck_prio : float;
+  ck_node_tie : int;
+  ck_depth : int;
+  ck_parent : int;
+  ck_overrides : (int * float * float) list;
+}
+
+type checkpoint = {
+  ck_nodes : int;  (** nodes explored so far *)
+  ck_tie : int;  (** heap tie-breaker high-water mark *)
+  ck_simplex_solves : int;
+  ck_best : (float * float array) option;
+      (** incumbent, objective in the problem's original sense *)
+  ck_cutoff_foreign : bool;
+  ck_foreign_prunes : int;
+  ck_cold_ref_pivots : int option;
+  ck_counters : Simplex_core.counters;
+  ck_lp_time_s : float;
+  ck_frontier : ck_node list;  (** canonical pop order *)
+  ck_pool : (int * Simplex_core.Basis.t * int * int) list;
+      (** warm-basis pool entries [(node_id, basis, refcount, lru_tick)],
+          sorted by node id *)
+  ck_pool_tick : int;
+}
+
 (** Pure feasibility problems (constant objective) with a feasible
     incumbent need no search: returns the incumbent as [Optimal].
     Shared with {!Dfs_solver}. *)
@@ -154,7 +201,27 @@ val feasibility_shortcut : Problem.t -> float array option -> solution option
       earlier solve (e.g. the previous configuration of a sweep) used to
       warm-start the root LP.
     - [basis_out]: receives the root LP's optimal basis, for chaining
-      into the next solve's [root_basis]. *)
+      into the next solve's [root_basis]. A resumed solve only re-solves
+      the root LP if the interrupt happened before the root was explored;
+      otherwise [basis_out] receives [None].
+    - [max_lp_iters]: per-node LP iteration cap; a node whose LP hits it
+      ends the search like a time limit (the incumbent is kept, a final
+      checkpoint is emitted). Meant to be driven by the retry policy in
+      [Resilience.Retry], which escalates the cap instead of crashing.
+    - [checkpoint_every] (default 0 = off): emit a checkpoint through
+      [on_checkpoint] every that many explored nodes.
+    - [checkpoint_every_s]: additionally emit one whenever that much
+      wall-clock has elapsed since the previous emission.
+    - [on_checkpoint]: receives each snapshot. Regardless of cadence, a
+      final checkpoint is emitted when the search stops inconclusively
+      (deadline, node limit, [should_stop], LP iteration cap) — never on
+      a conclusive exit (Optimal/Infeasible/Unbounded). The popped node
+      being explored at interrupt time is pushed back first, so the
+      serialized frontier is complete.
+    - [resume]: rehydrate all mutable state from a checkpoint instead of
+      starting at the root. The caller must pass the same problem and
+      parameters as the interrupted solve (see [Resilience.Checkpoint]
+      for the fingerprint that enforces the problem part). *)
 val solve :
   ?time_limit_s:float ->
   ?deadline:float ->
@@ -169,5 +236,10 @@ val solve :
   ?root_basis:Simplex_core.Basis.t ->
   ?basis_out:Simplex_core.Basis.t option ref ->
   ?basis_pool:int ->
+  ?max_lp_iters:int ->
+  ?checkpoint_every:int ->
+  ?checkpoint_every_s:float ->
+  ?on_checkpoint:(checkpoint -> unit) ->
+  ?resume:checkpoint ->
   Problem.t ->
   solution

@@ -18,6 +18,16 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 exception Limit_reached
 
+(* Coarse checkpoint: the DFS keeps its frontier on the OCaml call stack,
+   so unlike {!Branch_bound.checkpoint} there is no serializable open-node
+   set — only the incumbent survives an interrupt. Resuming restarts the
+   dive seeded with that incumbent (same final objective on completion,
+   NOT a trajectory-identical continuation). *)
+type coarse_checkpoint = {
+  dck_nodes : int;
+  dck_best : (float * float array) option;  (* original-sense objective *)
+}
+
 type state = {
   p : Problem.t;
   mutable tb : Simplex_core.t;
@@ -33,6 +43,9 @@ type state = {
   hooks : Branch_bound.hooks;
   pricing : Simplex_core.pricing;
   cnt : Simplex_core.counters;
+  iter_budget : int;  (* per-LP-solve pivot cap *)
+  ck_every : int;  (* coarse-checkpoint cadence in nodes; 0 = off *)
+  on_ck : (coarse_checkpoint -> unit) option;
   mutable lp_time : float; (* wall-clock inside the LP kernel *)
   mutable last_pivots : int; (* counter snapshot for per-node on_node deltas *)
   mutable nodes : int;
@@ -56,7 +69,14 @@ let branch_jitter ~seed j =
     let h = ((j + 1) * 2654435761 + (seed * 40503)) land 0xFFFF in
     float_of_int h /. 65536.0
 
-let lp_iter_budget = 200_000
+let default_lp_iter_budget = 200_000
+
+let coarse_of st =
+  { dck_nodes = st.nodes; dck_best = Option.map (fun x ->
+        (st.sense *. st.best_obj, Array.copy x)) st.best_x }
+
+let emit_coarse st =
+  match st.on_ck with None -> () | Some f -> f (coarse_of st)
 
 (* Rebuild the tableau from scratch under the current bounds (fallback on
    numerical trouble). Returns false when the node is infeasible. *)
@@ -78,7 +98,7 @@ let rebuild st =
     let b = Simplex_core.snapshot st.tb in
     match
       Simplex_core.restore ~pricing:st.pricing ~counters:st.cnt
-        ~bounds:(st.cur_lo, st.cur_hi) ~max_iters:lp_iter_budget
+        ~bounds:(st.cur_lo, st.cur_hi) ~max_iters:st.iter_budget
         ~deadline:st.deadline b st.p
     with
     | `Optimal tb ->
@@ -104,7 +124,7 @@ let rebuild st =
      | None -> `Ok false
      | Some tb ->
        (match
-          Simplex_core.phase1 tb ~max_iters:lp_iter_budget
+          Simplex_core.phase1 tb ~max_iters:st.iter_budget
             ~deadline:st.deadline
         with
         | `Infeasible -> `Ok false
@@ -112,7 +132,7 @@ let rebuild st =
         | `Feasible ->
           Simplex_core.install_objective tb;
           (match
-             Simplex_core.phase2 tb ~max_iters:lp_iter_budget
+             Simplex_core.phase2 tb ~max_iters:st.iter_budget
                ~deadline:st.deadline
            with
            | `Optimal ->
@@ -182,6 +202,7 @@ let move_bounds st var ~lo ~hi =
    drift-recovery rebuild against recursing forever. *)
 let rec explore ?(fresh = false) ?(depth = 0) st =
   st.nodes <- st.nodes + 1;
+  if st.ck_every > 0 && st.nodes mod st.ck_every = 0 then emit_coarse st;
   if st.nodes > st.node_limit || Clock.now () > st.deadline then
     raise Limit_reached;
   if st.hooks.Branch_bound.should_stop () then raise Limit_reached;
@@ -301,8 +322,19 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 2_000_000)
     ?(int_eps = 1.0e-6) ?incumbent ?(branch_seed = 0)
     ?(hooks = Branch_bound.no_hooks) ?log_every
     ?(pricing = Simplex_core.Devex) ?(presolve = true) ?root_basis ?basis_out
+    ?max_lp_iters ?(checkpoint_every = 0) ?on_checkpoint ?resume
     (p0 : Problem.t) : Branch_bound.solution =
   ignore log_every;
+  (* A coarse resume is just an incumbent seed: the dive restarts but the
+     cutoff (and hence the final objective) carries over. *)
+  let incumbent =
+    match resume with
+    | Some { dck_best = Some (_, x); _ } when incumbent = None -> Some x
+    | _ -> incumbent
+  in
+  let lp_iter_budget =
+    match max_lp_iters with Some m -> m | None -> default_lp_iter_budget
+  in
   match Branch_bound.feasibility_shortcut p0 incumbent with
   | Some early -> early
   | None ->
@@ -314,7 +346,7 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 2_000_000)
   | Some reason ->
     Log.warn (fun f -> f "dfs: falling back to best-first solver (%s)" reason);
     Branch_bound.solve ~deadline ~int_eps ?incumbent ~branch_seed ~hooks
-      ~pricing ~presolve ?root_basis ?basis_out p0
+      ~pricing ~presolve ?root_basis ?basis_out ?max_lp_iters p0
   | None ->
     (* Root presolve: same ids, implied-only tightening — the feasible set
        is unchanged, so the whole dive runs on the reduced problem and
@@ -410,6 +442,9 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 2_000_000)
            hooks;
            pricing;
            cnt;
+           iter_budget = lp_iter_budget;
+           ck_every = checkpoint_every;
+           on_ck = on_checkpoint;
            lp_time = 0.0;
            last_pivots = cnt.Simplex_core.pivots + cnt.Simplex_core.dual_pivots;
            nodes = 0;
@@ -481,7 +516,9 @@ let solve ?(time_limit_s = 60.0) ?deadline ?(node_limit = 2_000_000)
           (try
              explore st;
              st.exhausted <- true
-           with Limit_reached -> ())
+           with Limit_reached ->
+             (* inconclusive stop: hand the incumbent to the supervisor *)
+             emit_coarse st)
         | `Root_infeasible | `Root_unbounded | `Limit -> ());
        let time_s = Clock.now () -. t0 in
        let has_incumbent = st.best_x <> None in

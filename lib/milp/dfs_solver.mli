@@ -30,6 +30,25 @@
     cold two-phase solve (a warm miss) — both counted in [stats.lp] and
     reported through {!Branch_bound.hooks}[.on_basis]. *)
 
+(** Coarse checkpoint. The DFS keeps its frontier on the OCaml call
+    stack, so there is no serializable open-node set (unlike
+    {!Branch_bound.checkpoint}) — only the node count and the incumbent
+    (objective in the problem's original sense) survive an interrupt.
+    Resuming restarts the dive seeded with that incumbent: on completion
+    it certifies the same objective, but it is {e not} a
+    trajectory-identical continuation.
+
+    [max_lp_iters] caps each LP solve's pivots (default 200_000); hitting
+    it ends the search as a limit (never a crash), with the incumbent
+    reported. [checkpoint_every]/[on_checkpoint] emit a coarse snapshot
+    every that many nodes and on any inconclusive stop. [resume] seeds
+    the incumbent from a prior coarse checkpoint (ignored when an
+    explicit [incumbent] is also given). *)
+type coarse_checkpoint = {
+  dck_nodes : int;
+  dck_best : (float * float array) option;
+}
+
 val solve :
   ?time_limit_s:float ->
   ?deadline:float ->
@@ -43,5 +62,9 @@ val solve :
   ?presolve:bool ->
   ?root_basis:Simplex_core.Basis.t ->
   ?basis_out:Simplex_core.Basis.t option ref ->
+  ?max_lp_iters:int ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(coarse_checkpoint -> unit) ->
+  ?resume:coarse_checkpoint ->
   Problem.t ->
   Branch_bound.solution

@@ -82,6 +82,20 @@ let add_counters ~into c =
   into.dual_pivots_saved <- into.dual_pivots_saved + c.dual_pivots_saved;
   into.basis_evictions <- into.basis_evictions + c.basis_evictions
 
+(* Immutable snapshot of a counters record (checkpointing). *)
+let copy_counters c = { c with pivots = c.pivots }
+
+(* Overwrite [into] with [c]'s values (checkpoint rehydration). *)
+let set_counters ~into c =
+  into.pivots <- c.pivots;
+  into.dual_pivots <- c.dual_pivots;
+  into.pricing_scanned <- c.pricing_scanned;
+  into.pricing_refreshes <- c.pricing_refreshes;
+  into.warm_hits <- c.warm_hits;
+  into.warm_misses <- c.warm_misses;
+  into.dual_pivots_saved <- c.dual_pivots_saved;
+  into.basis_evictions <- c.basis_evictions
+
 (* How an original variable maps to solver columns. The shift of Shifted /
    Flipped columns lives in the mutable [shift] array so branching can
    move bounds without rebuilding. *)

@@ -589,4 +589,9 @@ module Check = struct
     match parse_document s with
     | exception Bad m -> Error m
     | _ -> Ok ()
+
+  (* The strict parser as a library entry point (checkpoint loading in
+     [Resilience] rides the same NaN/Infinity-rejecting discipline). *)
+  let parse_json s =
+    match parse_document s with v -> Ok v | exception Bad m -> Error m
 end

@@ -95,6 +95,23 @@ end
 (** {1 Validation} *)
 
 module Check : sig
+  (** Parsed strict-JSON value: exactly the JSON data model — numbers
+      are finite floats (the parser rejects NaN/Infinity tokens, which
+      are not JSON). *)
+  type json =
+    | Null
+    | B of bool
+    | N of float
+    | S of string
+    | A of json list
+    | O of (string * json) list
+
+  val parse_json : string -> (json, string) result
+  (** [parse_json s] parses [s] as one strict JSON document (no trailing
+      garbage, no NaN/Infinity, objects keep member order). This is the
+      same parser behind {!trace_file}/{!json_file}, exposed for
+      checkpoint loading in [Resilience]. *)
+
   val trace_file : string -> (int, string) result
   (** [trace_file path] validates a JSONL trace: every line is a JSON
       object with numeric ["ts"], integer ["dom"], a known ["kind"] and

@@ -61,6 +61,7 @@ type report = {
   foreign_prunes : int;
   imported : int;
   published : int;
+  crashed : bool;
 }
 
 type stats = {
@@ -72,6 +73,7 @@ type stats = {
   time_s : float;
   jobs : int;
   deterministic : bool;
+  worker_crashes : int;
 }
 
 type result = { solution : Milp.Branch_bound.solution; stats : stats }
@@ -85,10 +87,12 @@ let status_name = function
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "jobs=%d%s time=%.2fs winner=%s exchanges=%d published/%d imported \
+    "jobs=%d%s%s time=%.2fs winner=%s exchanges=%d published/%d imported \
      foreign-prunes=%d@ [%a]"
     s.jobs
     (if s.deterministic then " (deterministic)" else "")
+    (if s.worker_crashes > 0 then Fmt.str " crashes=%d" s.worker_crashes
+     else "")
     s.time_s
     (match s.winner with
      | Some i -> (List.nth s.reports i).config.name
@@ -108,7 +112,7 @@ let conclusive = function
   | Milp.Branch_bound.Feasible | Milp.Branch_bound.Unknown -> false
 
 let solve ?pool ?jobs ?configs ?(deterministic = false) ?cancel ?deadline
-    ?(time_limit_s = 60.0) ?node_limit ?incumbent ?(presolve = true)
+    ?(time_limit_s = 60.0) ?node_limit ?incumbent ?(presolve = true) ?chaos
     (p0 : Milp.Problem.t) : result =
   let t0 = Milp.Clock.now () in
   let deadline =
@@ -175,6 +179,7 @@ let solve ?pool ?jobs ?configs ?(deterministic = false) ?cancel ?deadline
           time_s;
           jobs;
           deterministic;
+          worker_crashes = 0;
         };
     }
   | Milp.Presolve.Reduced p, pre ->
@@ -197,6 +202,10 @@ let solve ?pool ?jobs ?configs ?(deterministic = false) ?cancel ?deadline
     match cancel with Some c -> Pool.Token.cancelled c | None -> false
   in
   let run_one i cfg =
+    (* fault injection: a [Pool.Poison] raised here escapes the pool's
+       exception funnel and kills this worker's domain, exercising the
+       supervisor's respawn + re-enqueue path *)
+    (match chaos with Some inject -> inject i | None -> ());
     Obs.span ~cat:"portfolio" "worker"
       ~fields:
         [
@@ -292,10 +301,17 @@ let solve ?pool ?jobs ?configs ?(deterministic = false) ?cancel ?deadline
     end;
     (sol, !local_imported, !local_published)
   in
+  let crashes0 = Pool.crashes pl in
+  (* one crash retry per worker: a transiently poisoned domain re-runs
+     its config after the supervisor respawns capacity; a deterministic
+     crasher fails over to [Error Worker_crashed] on its second death *)
   let futures =
-    List.mapi (fun i cfg -> Pool.async pl (fun () -> run_one i cfg)) configs
+    List.mapi
+      (fun i cfg -> Pool.async ~retry_on_crash:1 pl (fun () -> run_one i cfg))
+      configs
   in
   let raw = List.map Pool.await futures in
+  let worker_crashes = Pool.crashes pl - crashes0 in
   let outcomes =
     List.map2
       (fun cfg r ->
@@ -327,6 +343,7 @@ let solve ?pool ?jobs ?configs ?(deterministic = false) ?cancel ?deadline
             foreign_prunes = s.stats.Milp.Branch_bound.foreign_prunes;
             imported = imp;
             published = pub;
+            crashed = false;
           }
         | None ->
           {
@@ -338,6 +355,7 @@ let solve ?pool ?jobs ?configs ?(deterministic = false) ?cancel ?deadline
             foreign_prunes = 0;
             imported = imp;
             published = pub;
+            crashed = true;
           })
       outcomes
   in
@@ -404,6 +422,7 @@ let solve ?pool ?jobs ?configs ?(deterministic = false) ?cancel ?deadline
       time_s = Milp.Clock.now () -. t0;
       jobs;
       deterministic;
+      worker_crashes;
     }
   in
   Log.info (fun f -> f "portfolio: %a" pp_stats stats);

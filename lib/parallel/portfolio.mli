@@ -54,6 +54,9 @@ type report = {
   foreign_prunes : int;  (** prunes on another worker's incumbent *)
   imported : int;  (** incumbents this worker pulled from the cell *)
   published : int;  (** incumbents this worker pushed to the cell *)
+  crashed : bool;
+      (** this config produced no solution — its worker domain died (and
+          its crash-retry budget ran out) or its task raised *)
 }
 
 type stats = {
@@ -65,6 +68,10 @@ type stats = {
   time_s : float;
   jobs : int;
   deterministic : bool;
+  worker_crashes : int;
+      (** worker-domain deaths the pool supervisor handled during this
+          race (respawn + retry, see {!Pool}) — can exceed the number of
+          [crashed] reports when retries succeeded *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
@@ -94,6 +101,17 @@ type result = { solution : Milp.Branch_bound.solution; stats : stats }
       deterministic-mode bit-identity); the reductions are reported in
       the winning solution's [stats.lp]. A presolve infeasibility proof
       returns [Infeasible] without launching any worker.
+    - [chaos] is a fault-injection hook called with the worker's config
+      index at task start, before any solving; raising {!Pool.Poison}
+      from it kills that worker's domain. Each worker task is submitted
+      with one crash retry, so a one-shot injection (track "already
+      poisoned" in the hook) still yields a completed solve — the
+      supervisor respawns the domain and re-runs the config. Test-only.
+
+    Crash handling: a worker whose domain dies (out of retries) is
+    reported with [crashed = true] and status [Unknown]; the race
+    completes on the surviving workers. Only if {e every} worker
+    crashed is the first exception re-raised.
 
     Winner selection: non-deterministic mode returns the first worker
     with a conclusive status (cancelling the rest), else the best
@@ -112,5 +130,6 @@ val solve :
   ?node_limit:int ->
   ?incumbent:float array ->
   ?presolve:bool ->
+  ?chaos:(int -> unit) ->
   Milp.Problem.t ->
   result

@@ -40,7 +40,10 @@ module Chain = struct
   let put k v = Domain.DLS.get k := Some v
 end
 
-let map ?pool ?jobs ?deadline f items =
+let crashed o =
+  match o.result with Error (Pool.Worker_crashed _) -> true | _ -> false
+
+let map ?pool ?jobs ?deadline ?(retry_on_crash = 1) f items =
   let with_p g =
     match pool with Some pl -> g pl | None -> Pool.with_pool ?jobs g
   in
@@ -57,7 +60,7 @@ let map ?pool ?jobs ?deadline f items =
       (fun item ->
         try
           Ok
-            (Pool.async pl (fun () ->
+            (Pool.async ~retry_on_crash pl (fun () ->
                  let d = carve ~global:deadline ~unstarted ~jobs in
                  Obs.point ~cat:"sweep" "carve"
                    [
@@ -67,7 +70,14 @@ let map ?pool ?jobs ?deadline f items =
                  let t0 = Milp.Clock.now () in
                  let result =
                    Obs.span ~cat:"sweep" "item" (fun () ->
-                       try Ok (f ~deadline:d item) with e -> Error e)
+                       try Ok (f ~deadline:d item)
+                       with
+                       (* [Poison] must keep its pool-level meaning — kill
+                          the worker domain so supervision (respawn +
+                          [retry_on_crash]) takes over — not be funneled
+                          into the outcome like an item failure *)
+                       | Pool.Poison _ as e -> raise e
+                       | e -> Error e)
                  in
                  (result, d, Milp.Clock.now () -. t0)))
         with e -> Error e)

@@ -48,14 +48,28 @@ end
       ones. Without [deadline] every item gets [infinity].
 
     Item exceptions are funneled into their outcome ([Error]); one
-    crashing instance never aborts the sweep. If the pool machinery
+    crashing instance never aborts the sweep. The only exception that is
+    {e not} funneled is {!Pool.Poison}, which keeps its pool-level
+    meaning — it kills the worker domain so supervision (respawn +
+    crash retry) takes over, exactly as for any other pool task. If the pool machinery
     itself fails (e.g. submission on a shut-down pool), the outcome is
     [Error] with the global deadline (or [infinity]) recorded — the
-    [deadline] field is always well-defined, never NaN. *)
+    [deadline] field is always well-defined, never NaN.
+
+    [retry_on_crash] (default 1) is handed to {!Pool.async}: an item
+    whose worker {e domain} dies is transparently re-enqueued that many
+    times before its outcome becomes [Error Worker_crashed] (detect with
+    {!crashed}). Note a retried item re-carves its deadline when it
+    re-runs. *)
 val map :
   ?pool:Pool.t ->
   ?jobs:int ->
   ?deadline:float ->
+  ?retry_on_crash:int ->
   (deadline:float -> 'a -> 'b) ->
   'a list ->
   ('a, 'b) outcome list
+
+val crashed : ('a, 'b) outcome -> bool
+(** The item's worker domain died and its crash-retry budget ran out
+    ([result] is [Error Pool.Worker_crashed]). *)

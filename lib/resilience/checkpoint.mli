@@ -1,0 +1,61 @@
+(** Versioned, deterministic checkpoint files for interrupted solves.
+
+    A checkpoint wraps a solver-state snapshot — {!Milp.Branch_bound}'s
+    full frontier/incumbent/basis-pool state, or {!Milp.Dfs_solver}'s
+    coarse incumbent — together with a format version and a model
+    fingerprint, and (de)serializes it to strict JSON.
+
+    Properties the test suite pins down:
+    - {b deterministic}: [to_string] is a pure function of the snapshot
+      (floats via [%.17g], canonical frontier/pool order, no
+      timestamps), so write → load → write is byte-identical;
+    - {b strict}: loading uses the NaN/Infinity-rejecting parser from
+      {!Obs.Check} and validates every field; unknown versions, unknown
+      kinds, type mismatches and truncated files all yield [Error];
+    - {b guarded}: {!fingerprint} ties a file to the exact model it was
+      taken from, so a resume against a different model is refused by
+      the caller (see [Letdma.Solve]).
+
+    Saves are atomic (write to [path ^ ".tmp"], then rename) so an
+    interrupt mid-write never corrupts the previous checkpoint. Save and
+    load emit ["checkpoint"/"write"] and ["checkpoint"/"restore"] {!Obs}
+    points. *)
+
+val version : int
+(** Current file-format version (1). {!of_string} rejects any other. *)
+
+type state =
+  | Best_first of Milp.Branch_bound.checkpoint
+      (** trajectory-identical resume (see {!Milp.Branch_bound.solve}) *)
+  | Dfs of Milp.Dfs_solver.coarse_checkpoint
+      (** incumbent-only resume (see {!Milp.Dfs_solver.solve}) *)
+
+type t = {
+  ck_version : int;
+  ck_fingerprint : string;
+  ck_meta : (string * string) list;
+      (** free-form provenance (objective name, solver parameters…);
+          order is preserved *)
+  ck_state : state;
+}
+
+val fingerprint : Milp.Problem.t -> string
+(** FNV-1a hash of the model's LP-format text: stable across runs,
+    changed by any bound/coefficient/objective edit. *)
+
+val make : ?meta:(string * string) list -> fingerprint:string -> state -> t
+(** Wrap a snapshot at the current {!version}. *)
+
+val to_string : t -> string
+(** One strict-JSON document, newline-terminated. Raises
+    [Invalid_argument] if a float outside the sanctioned null slots is
+    non-finite (cannot happen for snapshots produced by the solvers). *)
+
+val of_string : string -> (t, string) result
+(** Parse and validate. Never raises. *)
+
+val save : string -> t -> (unit, string) result
+(** Atomic write: the target file either keeps its previous content or
+    holds the complete new checkpoint. *)
+
+val load : string -> (t, string) result

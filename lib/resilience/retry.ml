@@ -1,0 +1,95 @@
+(* Supervised retry with exponential backoff and parameter escalation.
+
+   The ladder trades solve speed for robustness: attempt 0 runs exactly
+   as configured; attempt 1 loosens the pricing rule (Dantzig's full
+   scan is slower but numerically steadier than devex reference weights)
+   and quadruples the LP iteration cap; attempt 2 and beyond also
+   disable the warm-basis pool and presolve — the two subsystems that
+   carry state across LPs — and raise the cap to 16x. The caller maps
+   the [escalation] record onto its solver parameters, so the policy
+   stays solver-agnostic. *)
+
+let src = Logs.Src.create "resilience.retry" ~doc:"supervised solve retries"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type escalation = {
+  attempt : int;
+  loosen_pricing : bool;
+  disable_warm : bool;
+  disable_presolve : bool;
+  iter_factor : int;
+}
+
+let escalate attempt =
+  if attempt <= 0 then
+    { attempt; loosen_pricing = false; disable_warm = false;
+      disable_presolve = false; iter_factor = 1 }
+  else if attempt = 1 then
+    { attempt; loosen_pricing = true; disable_warm = false;
+      disable_presolve = false; iter_factor = 4 }
+  else
+    { attempt; loosen_pricing = true; disable_warm = true;
+      disable_presolve = true; iter_factor = 16 }
+
+type policy = {
+  attempts : int;
+  backoff_s : float;
+  backoff_factor : float;
+  max_backoff_s : float;
+}
+
+let default_policy =
+  { attempts = 3; backoff_s = 0.1; backoff_factor = 2.0; max_backoff_s = 5.0 }
+
+let run ?(policy = default_policy) ?(sleep = Unix.sleepf) ?deadline ~classify f =
+  if policy.attempts < 1 then invalid_arg "Retry.run: attempts < 1";
+  let remaining () =
+    match deadline with
+    | None -> infinity
+    | Some d -> d -. Milp.Clock.now ()
+  in
+  let rec go attempt backoff =
+    let esc = escalate attempt in
+    if attempt > 0 then
+      Obs.point ~cat:"retry" "escalate"
+        [
+          ("attempt", Obs.Int attempt);
+          ("loosen_pricing", Obs.Bool esc.loosen_pricing);
+          ("disable_warm", Obs.Bool esc.disable_warm);
+          ("disable_presolve", Obs.Bool esc.disable_presolve);
+          ("iter_factor", Obs.Int esc.iter_factor);
+        ];
+    let outcome =
+      match f esc with
+      | r -> Ok r
+      | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+      | exception e -> Error e
+    in
+    let verdict =
+      match outcome with
+      | Ok r -> (match classify r with `Ok -> `Done | `Retry why -> `Retry why)
+      | Error e -> `Retry (Printexc.to_string e)
+    in
+    match verdict with
+    | `Done -> (match outcome with Ok r -> r | Error _ -> assert false)
+    | `Retry why ->
+      let last = attempt >= policy.attempts - 1 in
+      let left = remaining () in
+      if last || left <= 0.0 then begin
+        Log.warn (fun f ->
+            f "retry: giving up after attempt %d (%s)" (attempt + 1) why);
+        match outcome with Ok r -> r | Error e -> raise e
+      end
+      else begin
+        Obs.point ~cat:"retry" "attempt"
+          [ ("attempt", Obs.Int (attempt + 1)); ("reason", Obs.Str why) ];
+        Log.info (fun f ->
+            f "retry: attempt %d failed (%s); backing off %.2gs"
+              (attempt + 1) why backoff);
+        sleep (Float.min backoff (Float.max 0.0 left));
+        go (attempt + 1)
+          (Float.min (backoff *. policy.backoff_factor) policy.max_backoff_s)
+      end
+  in
+  go 0 policy.backoff_s

@@ -1,0 +1,58 @@
+(** Supervised retry: exponential backoff plus parameter escalation.
+
+    Wraps a solve attempt in a policy that turns inconclusive or
+    crashing runs into escalated retries instead of hard failures. Each
+    attempt receives an {!escalation} record describing how far up the
+    robustness ladder it sits; the caller maps it onto solver
+    parameters (see [Letdma.Solve.solve_supervised]):
+
+    - attempt 0: exactly as configured;
+    - attempt 1: [loosen_pricing] (switch devex to Dantzig's steadier
+      full scan) and [iter_factor = 4];
+    - attempt 2+: additionally [disable_warm] and [disable_presolve]
+      (the two subsystems carrying state across LPs), [iter_factor = 16].
+
+    Every retry emits ["retry"/"attempt"] (with the reason) and
+    ["retry"/"escalate"] (with the ladder parameters) {!Obs} points. *)
+
+type escalation = {
+  attempt : int;  (** 0-based *)
+  loosen_pricing : bool;
+  disable_warm : bool;
+  disable_presolve : bool;
+  iter_factor : int;  (** multiply the LP iteration cap by this *)
+}
+
+val escalate : int -> escalation
+(** The ladder above, clamped: [escalate 0] is the identity
+    configuration, [escalate n] for [n >= 2] is the maximal rung. *)
+
+type policy = {
+  attempts : int;  (** total attempts, including the first ([>= 1]) *)
+  backoff_s : float;  (** sleep before the first retry *)
+  backoff_factor : float;  (** multiplier per further retry *)
+  max_backoff_s : float;  (** backoff ceiling *)
+}
+
+val default_policy : policy
+(** 3 attempts, 0.1 s initial backoff, doubling, capped at 5 s. *)
+
+val run :
+  ?policy:policy ->
+  ?sleep:(float -> unit) ->
+  ?deadline:float ->
+  classify:('a -> [ `Ok | `Retry of string ]) ->
+  (escalation -> 'a) ->
+  'a
+(** [run ~classify f] calls [f (escalate 0)], asks [classify] whether
+    the result warrants a retry, and walks the ladder with exponential
+    backoff until [`Ok], the attempt budget, or [deadline] (a monotonic
+    {!Milp.Clock} instant — backoff sleeps never overshoot it).
+
+    An exception from [f] counts as [`Retry] (with the exception text as
+    the reason) unless it is the last attempt, in which case it is
+    re-raised; [Out_of_memory]/[Stack_overflow] always propagate. When
+    the budget is exhausted the last result is returned (or the last
+    exception re-raised) — the caller sees exactly what the final
+    attempt saw. [sleep] (default [Unix.sleepf]) is injectable for
+    tests. Raises [Invalid_argument] if [policy.attempts < 1]. *)

@@ -28,6 +28,18 @@ let default_config =
     utilization_per_core = 0.5;
   }
 
+(* A deliberately small instance class: sequential branch-and-bound
+   finishes in seconds, with enough open nodes to interrupt mid-tree —
+   sized for the checkpoint/resume chaos gate and property tests. *)
+let small_config =
+  {
+    default_config with
+    n_tasks = 4;
+    n_edges = 3;
+    periods_ms = [ 5; 10; 20 ];
+    max_labels_per_edge = 1;
+  }
+
 (* UUniFast (Bini & Buttazzo): n utilization shares summing to [u]. *)
 let uunifast st n u =
   let rec go i sum acc =

@@ -16,6 +16,12 @@ type config = {
 
 val default_config : config
 
+(** Small instances (4 tasks, 3 edges, single-label flows): sequential
+    branch-and-bound solves them to optimality in seconds while still
+    exploring enough nodes to interrupt mid-tree — used by the
+    checkpoint/resume chaos gate and property-based tests. *)
+val small_config : config
+
 (** UUniFast utilization shares (exposed for tests). *)
 val uunifast : Random.State.t -> int -> float -> float list
 

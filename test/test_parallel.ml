@@ -62,6 +62,59 @@ let test_token () =
   check_bool "cancelled after cancel" true (Pool.Token.cancelled t)
 
 (* ------------------------------------------------------------------ *)
+(* Worker-death supervision                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A task whose exception escapes the funnel (Poison) kills its worker
+   domain. Await must surface Worker_crashed — never hang — and the
+   supervisor must respawn the domain so capacity is preserved. *)
+let test_pool_worker_death_no_hang () =
+  Pool.with_pool ~jobs:1 (fun pl ->
+      let doomed = Pool.async pl (fun () -> raise (Pool.Poison "chaos")) in
+      (match Pool.await doomed with
+       | Error (Pool.Worker_crashed { worker; cause }) ->
+         check_bool "slot index in range" true (worker >= 0 && worker < 1);
+         check_bool "cause names the poison" true
+           (String.length cause > 0)
+       | Error e ->
+         Alcotest.fail ("expected Worker_crashed, got " ^ Printexc.to_string e)
+       | Ok _ -> Alcotest.fail "poisoned task reported Ok");
+      check_int "supervisor counted the death" 1 (Pool.crashes pl);
+      (* jobs=1: if the dead domain were not replaced, this would hang *)
+      let after = Pool.async pl (fun () -> 41 + 1) in
+      check_int "respawned worker serves new tasks" 42 (Pool.await_exn after))
+
+let test_pool_retry_on_crash () =
+  Pool.with_pool ~jobs:1 (fun pl ->
+      (* poison exactly once: the re-enqueued run must succeed *)
+      let armed = Atomic.make true in
+      let f =
+        Pool.async ~retry_on_crash:1 pl (fun () ->
+            if Atomic.exchange armed false then raise (Pool.Poison "once");
+            7)
+      in
+      check_int "task survived one worker death" 7 (Pool.await_exn f);
+      check_int "the death was still counted" 1 (Pool.crashes pl);
+      (* budget exhausted: a persistent crasher ends as Worker_crashed *)
+      let f = Pool.async ~retry_on_crash:2 pl (fun () -> raise (Pool.Poison "always")) in
+      (match Pool.await f with
+       | Error (Pool.Worker_crashed _) -> ()
+       | Error e -> Alcotest.fail ("unexpected " ^ Printexc.to_string e)
+       | Ok _ -> Alcotest.fail "persistent crasher reported Ok");
+      check_int "every death counted" 4 (Pool.crashes pl))
+
+let test_pool_shutdown_after_crash () =
+  (* shutdown's joins must not raise on a pool that lost (and respawned)
+     workers mid-flight *)
+  let pl = Pool.create ~jobs:2 () in
+  let doomed = Pool.async pl (fun () -> raise (Pool.Poison "boom")) in
+  (match Pool.await doomed with
+   | Error (Pool.Worker_crashed _) -> ()
+   | _ -> Alcotest.fail "expected Worker_crashed");
+  Pool.shutdown pl;
+  Pool.shutdown pl (* still idempotent *)
+
+(* ------------------------------------------------------------------ *)
 (* Foreign-incumbent pruning through the hooks, deterministically      *)
 (* ------------------------------------------------------------------ *)
 
@@ -181,6 +234,45 @@ let test_portfolio_incumbent_exchange () =
   check_bool "incumbents were imported" true
     (st.Portfolio.incumbents_imported >= 1)
 
+(* Chaos injection: kill one worker's domain at task start. The pool
+   respawns it and the one crash retry re-runs the config, so the race
+   still completes with a solution. *)
+let test_portfolio_chaos_crash_recovery () =
+  let armed = Atomic.make true in
+  let chaos idx =
+    if idx = 0 && Atomic.exchange armed false then
+      raise (Pool.Poison "injected worker death")
+  in
+  let r = Portfolio.solve ~jobs:2 ~chaos ~time_limit_s:30.0 (knapsack 3) in
+  check_bool "race completed despite the crash" true
+    (r.Portfolio.solution.B.status = B.Optimal);
+  check_bool "supervisor handled at least one death" true
+    (r.Portfolio.stats.Portfolio.worker_crashes >= 1);
+  (* the retried config recovered, so no report is marked crashed *)
+  check_bool "no config ended crashed" true
+    (List.for_all
+       (fun (rep : Portfolio.report) -> not rep.Portfolio.crashed)
+       r.Portfolio.stats.Portfolio.reports)
+
+(* Out-of-retries crash: the config is reported crashed, the race still
+   returns the surviving workers' solution instead of hanging. *)
+let test_portfolio_crashed_config_reported () =
+  let chaos idx =
+    if idx = 1 then raise (Pool.Poison "persistent death")
+  in
+  let r = Portfolio.solve ~jobs:2 ~chaos ~time_limit_s:30.0 (knapsack 5) in
+  check_bool "survivors completed the race" true
+    (r.Portfolio.solution.B.status = B.Optimal);
+  let reps = Array.of_list r.Portfolio.stats.Portfolio.reports in
+  check_bool "the poisoned config is marked crashed" true
+    reps.(1).Portfolio.crashed;
+  check_bool "crashed config has no status" true
+    (reps.(1).Portfolio.status = B.Unknown);
+  check_bool "the winner is a survivor" true
+    (match r.Portfolio.stats.Portfolio.winner with
+     | Some w -> w <> 1
+     | None -> false)
+
 let test_portfolio_external_cancel () =
   let cancel = Pool.Token.create () in
   Pool.Token.cancel cancel;
@@ -236,6 +328,47 @@ let test_sweep_deadline_carving () =
       match o.Sweep.result with
       | Ok (d, _) -> check_bool "unbounded" true (d = infinity)
       | Error e -> raise e)
+    outs
+
+(* A sweep item whose worker domain dies is transparently re-enqueued
+   (default retry budget 1); a persistent crasher ends as a crashed
+   outcome without aborting the sweep. *)
+let test_sweep_worker_crash () =
+  let armed = Atomic.make true in
+  let outs =
+    Sweep.map ~jobs:2
+      (fun ~deadline:_ x ->
+        if x = 2 && Atomic.exchange armed false then
+          raise (Pool.Poison "sweep chaos");
+        x * 10)
+      [ 1; 2; 3 ]
+  in
+  List.iter
+    (fun (o : _ Sweep.outcome) ->
+      check_bool "retried item recovered" false (Sweep.crashed o);
+      match o.Sweep.result with
+      | Ok v -> check_int "result intact" (10 * o.Sweep.item) v
+      | Error e -> raise e)
+    outs;
+  (* with the retry budget at 0, the crash surfaces as an outcome *)
+  let outs =
+    Sweep.map ~jobs:2 ~retry_on_crash:0
+      (fun ~deadline:_ x ->
+        if x = 2 then raise (Pool.Poison "sweep chaos");
+        x * 10)
+      [ 1; 2; 3 ]
+  in
+  check_int "every item has an outcome" 3 (List.length outs);
+  List.iter
+    (fun (o : _ Sweep.outcome) ->
+      if o.Sweep.item = 2 then
+        check_bool "poisoned item marked crashed" true (Sweep.crashed o)
+      else begin
+        check_bool "other items unaffected" false (Sweep.crashed o);
+        match o.Sweep.result with
+        | Ok v -> check_int "result intact" (10 * o.Sweep.item) v
+        | Error e -> raise e
+      end)
     outs
 
 (* Regression (PR 4): the pool-failure branch stamped [deadline = nan]
@@ -373,6 +506,15 @@ let () =
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
           Alcotest.test_case "token" `Quick test_token;
         ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "worker death surfaces, never hangs" `Quick
+            test_pool_worker_death_no_hang;
+          Alcotest.test_case "crash retries re-enqueue the task" `Quick
+            test_pool_retry_on_crash;
+          Alcotest.test_case "shutdown after a crash" `Quick
+            test_pool_shutdown_after_crash;
+        ] );
       ( "hooks",
         [
           Alcotest.test_case "foreign prune (best-first)" `Quick
@@ -388,6 +530,10 @@ let () =
             test_portfolio_incumbent_exchange;
           Alcotest.test_case "external cancel" `Quick
             test_portfolio_external_cancel;
+          Alcotest.test_case "chaos crash recovery" `Quick
+            test_portfolio_chaos_crash_recovery;
+          Alcotest.test_case "crashed config reported" `Quick
+            test_portfolio_crashed_config_reported;
         ] );
       ( "sweep",
         [
@@ -397,6 +543,8 @@ let () =
             test_sweep_deadline_carving;
           Alcotest.test_case "dead pool keeps deadline finite" `Quick
             test_sweep_dead_pool_deadline;
+          Alcotest.test_case "worker crash retried then surfaced" `Quick
+            test_sweep_worker_crash;
         ] );
       ( "end-to-end",
         [

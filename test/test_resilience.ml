@@ -1,0 +1,586 @@
+(* Tests for lib/resilience and the solver-side crash-resilience
+   features it packages: byte-identical checkpoint round trips, strict
+   load-time validation, kill-and-resume trajectory identity for the
+   best-first engine (deterministic and property-based), coarse DFS
+   resume, the retry/backoff ladder, and LP iteration-limit recovery. *)
+
+module P = Milp.Problem
+module L = Milp.Linexpr
+module B = Milp.Branch_bound
+module Ck = Resilience.Checkpoint
+module Retry = Resilience.Retry
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* Same deterministic knapsack family as test_parallel: fractional LP
+   roots, so every instance explores a real tree. *)
+let knapsack seed =
+  let n = 8 in
+  let rand =
+    let state = ref (seed * 2654435761 land 0x3FFFFFFF) in
+    fun bound ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      1 + (!state mod bound)
+  in
+  let weights = Array.init n (fun _ -> rand 20) in
+  let values = Array.init n (fun _ -> rand 20) in
+  let cap = float_of_int (3 + rand 40) +. 0.5 in
+  let p = P.create () in
+  let xs = Array.init n (fun i -> P.binary ~name:(Printf.sprintf "k%d" i) p) in
+  ignore
+    (P.add_constr p
+       (L.of_list
+          (Array.to_list
+             (Array.mapi (fun i x -> (float_of_int weights.(i), x)) xs)))
+       P.Le cap);
+  P.set_objective p P.Maximize
+    (L.of_list
+       (Array.to_list (Array.mapi (fun i x -> (float_of_int values.(i), x)) xs)));
+  p
+
+(* Interrupt a best-first solve after [k] explored nodes and hand back
+   the final checkpoint the solver emits on its way out. *)
+let interrupt_after ?(engine = `Best_first) p k =
+  let seen = ref 0 in
+  let hooks =
+    {
+      B.no_hooks with
+      B.should_stop = (fun () -> !seen >= k);
+      on_node = (fun ~node:_ ~depth:_ ~bound:_ ~pivots:_ -> incr seen);
+    }
+  in
+  match engine with
+  | `Best_first ->
+    let captured = ref None in
+    let s =
+      B.solve ~time_limit_s:60.0 ~hooks
+        ~on_checkpoint:(fun ck -> captured := Some ck)
+        p
+    in
+    (s, `Best_first !captured)
+  | `Dfs ->
+    let captured = ref None in
+    let s =
+      Milp.Dfs_solver.solve ~time_limit_s:60.0 ~hooks
+        ~on_checkpoint:(fun ck -> captured := Some ck)
+        p
+    in
+    (s, `Dfs !captured)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint serialization                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A mid-tree snapshot with a live frontier, an incumbent and a
+   non-empty basis pool — the checkpoint writer's full surface. *)
+let rich_checkpoint () =
+  let p = knapsack 3 in
+  let full = B.solve ~time_limit_s:60.0 p in
+  check_bool "reference solve is optimal" true (full.B.status = B.Optimal);
+  let k = max 2 (full.B.stats.B.nodes / 2) in
+  match interrupt_after p k with
+  | _, `Best_first (Some ck) ->
+    Ck.make
+      ~meta:[ ("objective", "knapsack-3"); ("engine", "best_first") ]
+      ~fingerprint:(Ck.fingerprint p) (Ck.Best_first ck)
+  | _ -> Alcotest.fail "interrupted solve emitted no checkpoint"
+
+let test_roundtrip_byte_identity () =
+  let ck = rich_checkpoint () in
+  (match ck.Ck.ck_state with
+   | Ck.Best_first bf ->
+     check_bool "snapshot has open nodes" true
+       (bf.B.ck_frontier <> []);
+     check_bool "snapshot has pooled bases" true (bf.B.ck_pool <> [])
+   | Ck.Dfs _ -> Alcotest.fail "expected a best-first snapshot");
+  let s1 = Ck.to_string ck in
+  match Ck.of_string s1 with
+  | Error m -> Alcotest.fail ("reload rejected own output: " ^ m)
+  | Ok ck' ->
+    check_string "write -> load -> write is byte-identical" s1
+      (Ck.to_string ck');
+    check_string "fingerprint survives" ck.Ck.ck_fingerprint
+      ck'.Ck.ck_fingerprint;
+    check_bool "meta survives in order" true (ck.Ck.ck_meta = ck'.Ck.ck_meta)
+
+(* Basis fingerprints span the full 63-bit range; a JSON number would
+   round them through a float and lose low bits past 2^53, making every
+   restored basis fail its signature check on resume. Pin the string
+   encoding with the extreme values a real pool can contain. *)
+let test_large_bsig_roundtrip () =
+  let basis bsig =
+    let open Milp.Simplex_core.Basis in
+    {
+      rows = [| Bvar 0; Bslack 1; Bnone |];
+      at_upper = [| 2; 5 |];
+      bm = 3;
+      bn = 7;
+      bsig;
+    }
+  in
+  let bf =
+    {
+      B.ck_nodes = 1;
+      ck_tie = 2;
+      ck_simplex_solves = 3;
+      ck_best = Some (1.5, [| 0.0; 1.0 |]);
+      ck_cutoff_foreign = false;
+      ck_foreign_prunes = 0;
+      ck_cold_ref_pivots = None;
+      ck_counters = Milp.Simplex_core.fresh_counters ();
+      ck_lp_time_s = 0.0;
+      ck_frontier =
+        [
+          {
+            B.ck_prio = neg_infinity;
+            ck_node_tie = 0;
+            ck_depth = 0;
+            ck_parent = -1;
+            ck_overrides = [ (0, neg_infinity, 0.0); (1, 1.0, infinity) ];
+          };
+        ];
+      ck_pool =
+        [
+          (0, basis max_int, 2, 1);
+          (1, basis min_int, 1, 2);
+          (2, basis ((1 lsl 53) + 1), 1, 3);
+        ];
+      ck_pool_tick = 3;
+    }
+  in
+  let ck = Ck.make ~fingerprint:"fnv1a64:0000000000000000" (Ck.Best_first bf) in
+  let s = Ck.to_string ck in
+  match Ck.of_string s with
+  | Error m -> Alcotest.fail ("reload rejected: " ^ m)
+  | Ok ck' ->
+    check_string "byte-identical" s (Ck.to_string ck');
+    (match ck'.Ck.ck_state with
+     | Ck.Best_first bf' ->
+       Alcotest.(check (list int))
+         "fingerprints survive exactly"
+         [ max_int; min_int; (1 lsl 53) + 1 ]
+         (List.map
+            (fun (_, (b : Milp.Simplex_core.Basis.t), _, _) ->
+              b.Milp.Simplex_core.Basis.bsig)
+            bf'.B.ck_pool)
+     | Ck.Dfs _ -> Alcotest.fail "kind changed")
+
+let test_save_load_files () =
+  let ck = rich_checkpoint () in
+  let file = Filename.temp_file "resilience_ck" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      (match Ck.save file ck with
+       | Ok () -> ()
+       | Error m -> Alcotest.fail ("save failed: " ^ m));
+      check_bool "no .tmp litter after an atomic save" false
+        (Sys.file_exists (file ^ ".tmp"));
+      match Ck.load file with
+      | Error m -> Alcotest.fail ("load failed: " ^ m)
+      | Ok ck' ->
+        check_string "file round trip is byte-identical" (Ck.to_string ck)
+          (Ck.to_string ck'));
+  match Ck.load "/nonexistent/checkpoint.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loading a missing file must be an Error"
+
+(* Corrupt one occurrence of [needle] in the serialized form and expect
+   the strict loader to refuse the result. *)
+let expect_reject what s =
+  match Ck.of_string s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail (what ^ ": corrupted checkpoint was accepted")
+
+let replace_once ~needle ~by s =
+  match
+    let nl = String.length needle in
+    let rec find i =
+      if i + nl > String.length s then None
+      else if String.sub s i nl = needle then Some i
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> Alcotest.fail (Printf.sprintf "marker %S not found" needle)
+  | Some i ->
+    String.sub s 0 i ^ by
+    ^ String.sub s (i + String.length needle)
+        (String.length s - i - String.length needle)
+
+let test_validator_rejections () =
+  let s = Ck.to_string (rich_checkpoint ()) in
+  expect_reject "garbage" "hello world";
+  expect_reject "empty" "";
+  expect_reject "truncated" (String.sub s 0 (String.length s - 5));
+  expect_reject "unknown version"
+    (replace_once ~needle:"{\"version\":1," ~by:"{\"version\":99," s);
+  expect_reject "unknown kind"
+    (replace_once ~needle:"\"kind\":\"best_first\"" ~by:"\"kind\":\"mystery\"" s);
+  expect_reject "NaN token"
+    (replace_once ~needle:"\"lp_time_s\":" ~by:"\"lp_time_s\":NaN,\"x\":" s);
+  expect_reject "Infinity token"
+    (replace_once ~needle:"\"lp_time_s\":" ~by:"\"lp_time_s\":Infinity,\"x\":" s);
+  expect_reject "type mismatch (string where int expected)"
+    (replace_once ~needle:"\"pool_tick\":" ~by:"\"pool_tick\":\"many\",\"x\":" s);
+  expect_reject "non-numeric bsig string"
+    (replace_once ~needle:"\"bsig\":\"" ~by:"\"bsig\":\"x" s);
+  (* a numeric (non-string) bsig is exactly the float-precision trap the
+     format forbids — the loader must refuse it, not silently round *)
+  expect_reject "bsig as a bare JSON number"
+    (replace_once ~needle:"\"bsig\":\"" ~by:"\"bsig\":9007199254740993,\"y\":\""
+       s);
+  (* sanity: the uncorrupted document still loads *)
+  match Ck.of_string s with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail ("control load failed: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Kill and resume: best-first trajectory identity                     *)
+(* ------------------------------------------------------------------ *)
+
+let check_resume_identical ~name p (full : B.solution) k =
+  match interrupt_after p k with
+  | _, `Best_first None ->
+    Alcotest.fail (name ^ ": interrupted solve emitted no checkpoint")
+  | interrupted, `Best_first (Some ck) ->
+    check_bool
+      (name ^ ": interrupt is inconclusive")
+      true
+      (interrupted.B.status = B.Feasible || interrupted.B.status = B.Unknown);
+    let resumed = B.solve ~time_limit_s:60.0 ~resume:ck p in
+    check_bool (name ^ ": resumed to optimality") true
+      (resumed.B.status = B.Optimal);
+    (* bit-identical, not approximately equal: same objective, same
+       assignment, same cumulative trajectory counters *)
+    check_bool (name ^ ": identical objective") true
+      (resumed.B.obj = full.B.obj);
+    check_bool (name ^ ": identical assignment") true (resumed.B.x = full.B.x);
+    check_int (name ^ ": identical node count") full.B.stats.B.nodes
+      resumed.B.stats.B.nodes;
+    check_int
+      (name ^ ": identical simplex solves")
+      full.B.stats.B.simplex_solves resumed.B.stats.B.simplex_solves;
+    check_int
+      (name ^ ": identical LP pivots")
+      full.B.stats.B.lp.B.lp_pivots resumed.B.stats.B.lp.B.lp_pivots
+  | _ -> assert false
+
+let test_resume_trajectory_identity () =
+  let p = knapsack 3 in
+  let full = B.solve ~time_limit_s:60.0 p in
+  check_bool "baseline optimal" true (full.B.status = B.Optimal);
+  let nodes = full.B.stats.B.nodes in
+  check_bool "instance explores a tree" true (nodes >= 4);
+  (* first node, mid-tree, and last-possible interrupt points *)
+  List.iter
+    (fun k ->
+      check_resume_identical ~name:(Printf.sprintf "k=%d" k) p full k)
+    [ 1; nodes / 2; nodes - 1 ]
+
+(* The same claim, property-based: any instance, any interrupt point. *)
+let prop_kill_resume =
+  QCheck.Test.make
+    ~name:"kill-and-resume reproduces the uninterrupted solve bit-for-bit"
+    ~count:40
+    QCheck.(pair (int_range 1 500) (int_range 1 99))
+    (fun (seed, pct) ->
+      let p = knapsack seed in
+      let full = B.solve ~time_limit_s:60.0 p in
+      QCheck.assume (full.B.status = B.Optimal);
+      let nodes = full.B.stats.B.nodes in
+      QCheck.assume (nodes >= 2);
+      let k = max 1 (min (nodes - 1) (nodes * pct / 100)) in
+      match interrupt_after p k with
+      | _, `Best_first None -> false
+      | _, `Best_first (Some ck) ->
+        (* serialize through the on-disk format, as a real resume does *)
+        let wrapped =
+          Ck.make ~fingerprint:(Ck.fingerprint p) (Ck.Best_first ck)
+        in
+        let ck =
+          match Ck.of_string (Ck.to_string wrapped) with
+          | Ok { Ck.ck_state = Ck.Best_first bf; _ } -> bf
+          | Ok _ -> QCheck.Test.fail_reportf "seed %d: kind changed" seed
+          | Error m ->
+            QCheck.Test.fail_reportf "seed %d: reload failed: %s" seed m
+        in
+        let resumed = B.solve ~time_limit_s:60.0 ~resume:ck p in
+        if resumed.B.status <> B.Optimal then
+          QCheck.Test.fail_reportf "seed %d k=%d: resume not optimal" seed k;
+        resumed.B.obj = full.B.obj
+        && resumed.B.x = full.B.x
+        && resumed.B.stats.B.nodes = full.B.stats.B.nodes
+        && resumed.B.stats.B.simplex_solves = full.B.stats.B.simplex_solves
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* DFS coarse resume: same certified objective, not same trajectory    *)
+(* ------------------------------------------------------------------ *)
+
+let test_dfs_coarse_resume () =
+  let p = knapsack 5 in
+  let full = Milp.Dfs_solver.solve ~time_limit_s:60.0 p in
+  check_bool "dfs baseline optimal" true (full.B.status = B.Optimal);
+  let nodes = full.B.stats.B.nodes in
+  check_bool "dfs explores a tree" true (nodes >= 2);
+  match interrupt_after ~engine:`Dfs p (max 1 (nodes / 2)) with
+  | _, `Dfs None -> Alcotest.fail "dfs interrupt emitted no checkpoint"
+  | _, `Dfs (Some ck) ->
+    let resumed = Milp.Dfs_solver.solve ~time_limit_s:60.0 ~resume:ck p in
+    check_bool "dfs resumed to optimality" true
+      (resumed.B.status = B.Optimal);
+    check_bool "dfs resume certifies the same objective" true
+      (resumed.B.obj = full.B.obj)
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Retry ladder                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_escalation_ladder () =
+  let e0 = Retry.escalate 0 in
+  check_bool "attempt 0 is the identity" true
+    ((not e0.Retry.loosen_pricing)
+    && (not e0.Retry.disable_warm)
+    && (not e0.Retry.disable_presolve)
+    && e0.Retry.iter_factor = 1);
+  let e1 = Retry.escalate 1 in
+  check_bool "attempt 1 loosens pricing only" true
+    (e1.Retry.loosen_pricing
+    && (not e1.Retry.disable_warm)
+    && (not e1.Retry.disable_presolve)
+    && e1.Retry.iter_factor = 4);
+  let e2 = Retry.escalate 2 in
+  check_bool "attempt 2 is the maximal rung" true
+    (e2.Retry.loosen_pricing && e2.Retry.disable_warm
+    && e2.Retry.disable_presolve
+    && e2.Retry.iter_factor = 16);
+  check_bool "the ladder is clamped" true (Retry.escalate 7 = { e2 with Retry.attempt = 7 })
+
+let test_retry_backoff_schedule () =
+  let sleeps = ref [] in
+  let policy =
+    { Retry.attempts = 4; backoff_s = 1.0; backoff_factor = 2.0;
+      max_backoff_s = 3.0 }
+  in
+  let r =
+    Retry.run ~policy
+      ~sleep:(fun s -> sleeps := s :: !sleeps)
+      ~classify:(fun (esc : Retry.escalation) ->
+        if esc.Retry.attempt >= 3 then `Ok else `Retry "not yet")
+      (fun esc -> esc)
+  in
+  check_int "succeeded on the final attempt" 3 r.Retry.attempt;
+  (* exponential, capped at max_backoff_s *)
+  Alcotest.(check (list (float 1e-9)))
+    "backoff doubles then clamps" [ 1.0; 2.0; 3.0 ] (List.rev !sleeps)
+
+let test_retry_exception_funnel () =
+  let calls = ref 0 in
+  let r =
+    Retry.run
+      ~policy:{ Retry.default_policy with Retry.backoff_s = 0.0 }
+      ~sleep:(fun _ -> ())
+      ~classify:(fun _ -> `Ok)
+      (fun esc ->
+        incr calls;
+        if esc.Retry.attempt < 2 then failwith "flaky" else esc.Retry.attempt)
+  in
+  check_int "exceptions consumed attempts" 3 !calls;
+  check_int "recovered on the last rung" 2 r;
+  (* an exception on the final attempt propagates to the caller *)
+  match
+    Retry.run
+      ~policy:{ Retry.default_policy with Retry.attempts = 2; backoff_s = 0.0 }
+      ~sleep:(fun _ -> ())
+      ~classify:(fun _ -> `Ok)
+      (fun _ -> failwith "always")
+  with
+  | exception Failure m -> check_string "last exception re-raised" "always" m
+  | _ -> Alcotest.fail "exhausted retries must re-raise"
+
+let test_retry_deadline () =
+  let calls = ref 0 in
+  let r =
+    Retry.run
+      ~policy:{ Retry.default_policy with Retry.attempts = 5 }
+      ~sleep:(fun _ -> Alcotest.fail "no backoff past the deadline")
+      ~deadline:(Milp.Clock.now () -. 1.0)
+      ~classify:(fun _ -> `Retry "never good enough")
+      (fun _ ->
+        incr calls;
+        !calls)
+  in
+  check_int "an expired deadline stops after one attempt" 1 r
+
+(* ------------------------------------------------------------------ *)
+(* LP iteration limit: a cap is a limit, never a crash                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_iteration_limit_is_graceful () =
+  let p = knapsack 3 in
+  (* per-node cap of 1 pivot: the root LP cannot finish *)
+  let captured = ref None in
+  let s =
+    B.solve ~time_limit_s:60.0 ~max_lp_iters:1
+      ~on_checkpoint:(fun ck -> captured := Some ck)
+      p
+  in
+  check_bool "capped solve ends as a limit, not an exception" true
+    (s.B.status = B.Unknown || s.B.status = B.Feasible);
+  check_bool "a final checkpoint was emitted" true (Option.is_some !captured);
+  let d = Milp.Dfs_solver.solve ~time_limit_s:60.0 ~max_lp_iters:1 p in
+  check_bool "dfs capped solve is graceful too" true
+    (d.B.status = B.Unknown || d.B.status = B.Feasible)
+
+let test_supervised_recovers_from_iteration_limit () =
+  let p = knapsack 3 in
+  let attempts = ref 0 in
+  let r =
+    Retry.run
+      ~policy:{ Retry.default_policy with Retry.backoff_s = 0.0 }
+      ~sleep:(fun _ -> ())
+      ~classify:(fun (s : B.solution) ->
+        if s.B.status = B.Optimal then `Ok else `Retry "iteration limit")
+      (fun esc ->
+        incr attempts;
+        (* the ladder's iter_factor scales an undersized cap back into a
+           workable one — the wiring Solve.solve_supervised relies on *)
+        B.solve ~time_limit_s:60.0
+          ~max_lp_iters:(1 * esc.Retry.iter_factor)
+          p)
+  in
+  check_bool "escalation recovered the solve" true (r.B.status = B.Optimal);
+  check_bool "at least one retry was needed" true (!attempts >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* End to end: Letdma.Solve durable interrupt + resume                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Find a small generator instance that is schedulable and explores a
+   real tree, then check the ISSUE's acceptance criterion at the driver
+   level: interrupt -> checkpoint on disk -> resume -> same certified
+   objective and identical cumulative node count. *)
+let test_solve_durable_interrupt_resume () =
+  let open Let_sem in
+  let found = ref None in
+  let seed = ref 1 in
+  while !found = None && !seed <= 60 do
+    let app =
+      Workload.Generator.random ~seed:!seed
+        ~config:Workload.Generator.small_config ()
+    in
+    let groups = Groups.compute app in
+    (if not (Comm.Set.is_empty (Groups.s0 groups)) then
+       match Rt_analysis.Sensitivity.gammas app ~alpha:0.3 with
+       | Some s when s.Rt_analysis.Sensitivity.schedulable ->
+         let gamma = s.Rt_analysis.Sensitivity.gamma in
+         let r =
+           Letdma.Solve.solve ~time_limit_s:30.0 Letdma.Formulation.No_obj app
+             groups ~gamma
+         in
+         let n = r.Letdma.Solve.stats.Letdma.Solve.nodes in
+         if
+           r.Letdma.Solve.stats.Letdma.Solve.status = B.Optimal
+           && n >= 10 && n <= 500
+         then found := Some (app, groups, gamma, r)
+       | _ -> ());
+    incr seed
+  done;
+  match !found with
+  | None -> Alcotest.fail "no suitable generator instance in 60 seeds"
+  | Some (app, groups, gamma, baseline) ->
+    let file = Filename.temp_file "resilience_solve" ".json" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+      (fun () ->
+        let k = baseline.Letdma.Solve.stats.Letdma.Solve.nodes / 2 in
+        let interrupted =
+          Letdma.Solve.solve ~time_limit_s:30.0 ~checkpoint_file:file
+            ~interrupt_after_nodes:k Letdma.Formulation.No_obj app groups
+            ~gamma
+        in
+        check_bool "interrupted run is inconclusive" true
+          (interrupted.Letdma.Solve.stats.Letdma.Solve.status <> B.Optimal);
+        check_bool "checkpoint file left on disk" true (Sys.file_exists file);
+        let ck =
+          match Ck.load file with
+          | Ok ck -> ck
+          | Error m -> Alcotest.fail ("checkpoint unreadable: " ^ m)
+        in
+        let resumed =
+          Letdma.Solve.solve ~time_limit_s:30.0 ~checkpoint_file:file
+            ~resume:ck Letdma.Formulation.No_obj app groups ~gamma
+        in
+        let stats r = r.Letdma.Solve.stats in
+        check_bool "resumed to optimality" true
+          ((stats resumed).Letdma.Solve.status = B.Optimal);
+        check_int "identical cumulative node count"
+          (stats baseline).Letdma.Solve.nodes
+          (stats resumed).Letdma.Solve.nodes;
+        check_bool "identical raw assignment" true
+          (resumed.Letdma.Solve.x = baseline.Letdma.Solve.x);
+        check_bool "conclusive resume removed the checkpoint" false
+          (Sys.file_exists file);
+        (* a fingerprint from a different model must be refused *)
+        let other =
+          Workload.Generator.random ~seed:(!seed + 1000)
+            ~config:Workload.Generator.small_config ()
+        in
+        let ogroups = Groups.compute other in
+        match Rt_analysis.Sensitivity.gammas other ~alpha:0.3 with
+        | None -> ()
+        | Some s ->
+          (match
+             Letdma.Solve.solve ~time_limit_s:5.0 ~resume:ck
+               Letdma.Formulation.No_obj other ogroups
+               ~gamma:s.Rt_analysis.Sensitivity.gamma
+           with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "foreign checkpoint must be refused"))
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "checkpoint",
+        [
+          Alcotest.test_case "byte-identical round trip" `Quick
+            test_roundtrip_byte_identity;
+          Alcotest.test_case "63-bit basis fingerprints survive" `Quick
+            test_large_bsig_roundtrip;
+          Alcotest.test_case "atomic save / load" `Quick test_save_load_files;
+          Alcotest.test_case "strict validator rejections" `Quick
+            test_validator_rejections;
+        ] );
+      ( "kill-and-resume",
+        [
+          Alcotest.test_case "trajectory identity at fixed points" `Quick
+            test_resume_trajectory_identity;
+          Alcotest.test_case "dfs coarse resume" `Quick test_dfs_coarse_resume;
+          QCheck_alcotest.to_alcotest prop_kill_resume;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "escalation ladder" `Quick test_escalation_ladder;
+          Alcotest.test_case "backoff schedule" `Quick
+            test_retry_backoff_schedule;
+          Alcotest.test_case "exception funnel" `Quick
+            test_retry_exception_funnel;
+          Alcotest.test_case "expired deadline" `Quick test_retry_deadline;
+        ] );
+      ( "iteration-limit",
+        [
+          Alcotest.test_case "cap is a limit, not a crash" `Quick
+            test_iteration_limit_is_graceful;
+          Alcotest.test_case "supervised escalation recovers" `Quick
+            test_supervised_recovers_from_iteration_limit;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "durable interrupt + resume (Letdma.Solve)" `Slow
+            test_solve_durable_interrupt_resume;
+        ] );
+    ]
