@@ -1194,6 +1194,128 @@ let micro app =
     tests;
   emit "estimates_ns" (Json.Obj (List.rev !estimates))
 
+(* ------------------------------------------------------------------ *)
+(* SERVICE: request corpus through the daemon's batch engine           *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic request corpus through Service.Engine — the same
+   code path `letdma serve` dispatches to, minus the socket plumbing:
+   cold solves, exact repeats (cache hits) and alpha-perturbed repeats
+   (warm-started solves), issued as successive batches against one
+   engine so the cache carries across batches. Emits hit rates and
+   latency percentiles to BENCH_SERVICE.json and a per-request CSV
+   snapshot (objective / pivots / cache-verdict columns) next to it. *)
+let corpus_csv = "BENCH_CORPUS.csv"
+
+let corpus_section () =
+  let module P = Service.Protocol in
+  let module R = Resilience.Json in
+  section "SERVICE: seeded corpus through the batch engine";
+  let seeds = [ 2; 4; 7; 9 ] in
+  let solve ~id ~alpha seed =
+    Printf.sprintf
+      {|{"id":"%s","op":"solve","workload":"small","seed":%d,"alpha":%g,"deadline_s":120,"class":"gold"}|}
+      id seed alpha
+  in
+  (* five waves over the seed set: cold, exact repeat, perturbed, exact
+     repeat again, perturbed further — each wave one batch *)
+  let wave tag alpha =
+    List.map (fun s -> solve ~id:(Printf.sprintf "%s-%d" tag s) ~alpha s) seeds
+  in
+  let batches =
+    [
+      wave "cold" 0.2; wave "hit" 0.2; wave "warm" 0.25; wave "hit2" 0.2;
+      wave "warm2" 0.3;
+    ]
+  in
+  let engine = Service.Engine.create ~jobs:1 ~retry_on_crash:1 () in
+  let lines =
+    List.concat_map
+      (fun batch ->
+        Service.Engine.process engine (List.map P.parse_request batch))
+      batches
+  in
+  Service.Engine.shutdown engine;
+  let rows =
+    List.map
+      (fun line ->
+        match R.parse (String.trim line) with
+        | Ok (R.O ms) -> ms
+        | Ok _ | Error _ -> failwith ("corpus: bad response " ^ line))
+      lines
+  in
+  let str ms k = R.as_string k (R.field "corpus" ms k) in
+  let num ms k =
+    match R.field_opt ms k with
+    | Some (R.N f) -> f
+    | _ -> Float.nan
+  in
+  let oc = open_out corpus_csv in
+  output_string oc "id,cache,tier,solver,objective,pivots,nodes,time_ms\n";
+  List.iter
+    (fun ms ->
+      if str ms "status" <> "ok" then
+        failwith ("corpus: request failed: " ^ str ms "error");
+      Printf.fprintf oc "%s,%s,%s,%s,%.17g,%.0f,%.0f,%.3f\n" (str ms "id")
+        (str ms "cache") (str ms "tier") (str ms "solver")
+        (num ms "objective") (num ms "pivots") (num ms "nodes")
+        (1000.0 *. num ms "time_s"))
+    rows;
+  close_out oc;
+  Fmt.pr "  wrote %s (%d rows)@." corpus_csv (List.length rows);
+  let verdict v = List.filter (fun ms -> str ms "cache" = v) rows in
+  let hits = verdict "hit" and warms = verdict "warm" in
+  let misses = verdict "miss" in
+  let lat ms = 1000.0 *. num ms "time_s" in
+  let percentile xs p =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n = 0 then 0.0
+    else a.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+  in
+  let latencies group = List.map lat group in
+  let pct group name =
+    let xs = latencies group in
+    Json.Obj
+      [
+        ("count", Json.Int (List.length group));
+        ("p50_ms", Json.Num (percentile xs 0.50));
+        ("p90_ms", Json.Num (percentile xs 0.90));
+        ("p99_ms", Json.Num (percentile xs 0.99));
+        ( "max_ms",
+          Json.Num (List.fold_left Float.max 0.0 xs) );
+      ]
+    |> fun o ->
+    Fmt.pr "  %-6s n=%2d p50=%6.1fms p90=%6.1fms@." name (List.length group)
+      (percentile xs 0.50) (percentile xs 0.90);
+    o
+  in
+  let n = List.length rows in
+  let pivots group =
+    List.fold_left (fun acc ms -> acc +. num ms "pivots") 0.0 group
+  in
+  emit "corpus"
+    (Json.Obj
+       [
+         ("requests", Json.Int n);
+         ("hits", Json.Int (List.length hits));
+         ("warm_seeds", Json.Int (List.length warms));
+         ("misses", Json.Int (List.length misses));
+         ( "repeat_hit_rate",
+           (* exact repeats answered from the cache, over all repeats *)
+           Json.Num
+             (float_of_int (List.length hits)
+             /. float_of_int (List.length hits + List.length warms)) );
+         ("cold_pivots", Json.Num (pivots misses));
+         ("warm_pivots", Json.Num (pivots warms));
+         ("latency_all", pct rows "all");
+         ("latency_hit", pct hits "hit");
+         ("latency_warm", pct warms "warm");
+         ("latency_cold", pct misses "cold");
+         ("csv", Json.Str corpus_csv);
+       ])
+
 let () =
   let log_mutex = Mutex.create () in
   Logs.set_reporter_mutex
@@ -1223,6 +1345,10 @@ let () =
   else if Array.exists (String.equal "--parallel") Sys.argv then begin
     run_section "PARALLEL" (fun () -> parallel_section ~smoke:false app);
     Fmt.pr "@.bench: parallel section completed@."
+  end
+  else if Array.exists (String.equal "--corpus") Sys.argv then begin
+    run_section "SERVICE" corpus_section;
+    Fmt.pr "@.bench: service corpus section completed@."
   end
   else if smoke then begin
     run_section "FIG1" fig1;

@@ -12,10 +12,14 @@
         solution, or the degradation ladder was exhausted)
      7  solve interrupted with a resumable checkpoint on disk (rerun
         with the `resume` subcommand to continue the search)
+     8  service failed to start (e.g. the --socket path cannot be
+        bound); once serving, the daemon answers malformed requests
+        with structured error responses and still exits 0
    Invalid flag values (e.g. --labels-per-edge 0) are rejected by the
    argument parser itself with Cmdliner's usage error code (124); --jobs
-   is the exception — it is validated in the command body so an invalid
-   count gets the structured one-line error and exit code 1. *)
+   is the exception — it is validated in the command body (through
+   Parallel.Pool.validate_jobs, shared by solve/pipeline/serve) so an
+   invalid count gets the structured one-line error and exit code 1. *)
 
 open Cmdliner
 open Rt_model
@@ -26,6 +30,7 @@ let exit_invalid_model = 3
 let exit_unschedulable = 4
 let exit_no_solution = 5
 let exit_interrupted = 7
+let exit_service_startup = 8
 
 let err fmt = Fmt.kstr (fun m -> Fmt.epr "letdma: error: %s@." m) fmt
 
@@ -127,11 +132,11 @@ let jobs_t =
            recommends for this machine; 1 = sequential).")
 
 let check_jobs jobs k =
-  if jobs < 1 then begin
-    err "jobs must be >= 1, got %d" jobs;
+  match Parallel.Pool.validate_jobs jobs with
+  | Ok _ -> k ()
+  | Error m ->
+    err "%s" m;
     exit_internal
-  end
-  else k ()
 
 (* --- observability ---------------------------------------------------- *)
 
@@ -762,6 +767,79 @@ let trace_check_cmd =
           gate to reject malformed or NaN-carrying output).")
     Term.(const run $ verbose_t $ files_t)
 
+(* --- serve ------------------------------------------------------------- *)
+
+let serve_cmd =
+  let socket_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Additionally listen on a Unix-domain socket at $(docv) (created \
+             on startup, removed on shutdown). Requests on stdin are always \
+             served; a bind failure exits with code 8 before any request is \
+             read.")
+  in
+  let cache_t =
+    Arg.(
+      value
+      & opt (positive_int "cache capacity") 64
+      & info [ "cache" ] ~docv:"N"
+          ~doc:
+            "Capacity of the fingerprint-keyed warm cache (LRU entries, \
+             each one solved model with its optimal basis).")
+  in
+  let max_batch_t =
+    Arg.(
+      value
+      & opt (positive_int "max batch") 64
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:
+            "Largest request batch carved through one shared deadline; \
+             pipelined input beyond $(docv) starts the next batch.")
+  in
+  let retry_on_crash_t =
+    Arg.(
+      value
+      & opt (nonneg_int "crash retries") 1
+      & info [ "retry-on-crash" ] ~docv:"N"
+          ~doc:
+            "How many times a request whose worker domain died is retried \
+             before it is answered with a structured error (the daemon \
+             itself always survives worker crashes).")
+  in
+  let run verbose socket cache max_batch retry_on_crash jobs trace metrics =
+    guard @@ fun () ->
+    setup_logs verbose;
+    check_jobs jobs @@ fun () ->
+    with_obs ~trace ~metrics @@ fun () ->
+    let engine =
+      Service.Engine.create ~jobs ~cache_capacity:cache
+        ~retry_on_crash ()
+    in
+    let r = Service.Daemon.run ?socket ~max_batch engine in
+    Service.Engine.shutdown engine;
+    match r with
+    | Ok code -> code
+    | Error m ->
+      err "%s" m;
+      exit_service_startup
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the solver as a persistent service: newline-delimited JSON \
+          requests on stdin (and optionally a Unix-domain socket), one JSON \
+          response per line. Batches compatible requests under a shared \
+          fair deadline, caches solved models by fingerprint (exact repeats \
+          replay instantly, perturbed repeats warm-start), and sheds \
+          over-deadline work down the degradation ladder by QoS class. See \
+          README: Running as a service for the protocol.")
+    Term.(
+      const run $ verbose_t $ socket_t $ cache_t $ max_batch_t
+      $ retry_on_crash_t $ jobs_t $ trace_t $ metrics_t)
+
 (* --- random workload --------------------------------------------------- *)
 
 let random_cmd =
@@ -804,6 +882,7 @@ let main =
       solve_cmd;
       resume_cmd;
       pipeline_cmd;
+      serve_cmd;
       faults_cmd;
       random_cmd;
       trace_check_cmd;

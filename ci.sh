@@ -99,4 +99,29 @@ echo "chaos gate: baseline obj ${base_obj} (${base_nodes} nodes), resumed obj ${
   echo "FAIL: conclusive resume left its checkpoint behind"; exit 1; }
 rm -f ci_chaos_base.out ci_chaos_int.out ci_chaos_res.out
 
+echo "== service smoke (daemon, cache hit, malformed request) =="
+# One daemon session over stdin/stdout: the same solve twice, one
+# malformed request, then EOF. The daemon must answer all three lines
+# (malformed -> structured error, not a crash), the second solve must be
+# answered from the cache with a byte-identical %.17g objective, and the
+# drained EOF shutdown must exit 0.
+printf '%s\n' \
+  '{"id":"s1","op":"solve","workload":"small","seed":7,"deadline_s":120,"class":"gold"}' \
+  '{"id":"s2","op":"solve","workload":"small","seed":7,"deadline_s":120,"class":"gold"}' \
+  '{"id":"s3","op":"solve","oops":true}' \
+  | timeout 200 $CLI serve --jobs 1 > ci_service.out || {
+    echo "FAIL: serve exited $? (want 0 after EOF drain)"; exit 1; }
+[ "$(wc -l < ci_service.out)" -eq 3 ] || {
+  echo "FAIL: expected 3 responses, got:"; cat ci_service.out; exit 1; }
+grep -q '"id":"s2".*"cache":"hit"' ci_service.out || {
+  echo "FAIL: repeated solve was not a cache hit"; cat ci_service.out; exit 1; }
+s1_core=$(sed -n 's/.*"id":"s1".*\("tier".*\)/\1/p' ci_service.out)
+s2_core=$(sed -n 's/.*"id":"s2".*\("tier".*\)/\1/p' ci_service.out)
+echo "service smoke: cached core ${s2_core}"
+[ -n "$s1_core" ] && [ "$s1_core" = "$s2_core" ] || {
+  echo "FAIL: cache hit not byte-identical:"; cat ci_service.out; exit 1; }
+grep -q '"id":"s3","status":"error"' ci_service.out || {
+  echo "FAIL: malformed request did not get a structured error"; cat ci_service.out; exit 1; }
+rm -f ci_service.out
+
 echo "== ci.sh: all green =="

@@ -161,11 +161,16 @@ and spawn_worker t slot =
   Domain.spawn (fun () ->
       try worker_loop t slot with cause -> handle_crash t slot cause)
 
+let validate_jobs j =
+  if j >= 1 then Ok j else Error (Fmt.str "jobs must be >= 1, got %d" j)
+
 let create ?jobs () =
   let jobs =
     match jobs with
-    | Some j when j >= 1 -> j
-    | Some j -> invalid_arg (Fmt.str "Pool.create: jobs must be >= 1, got %d" j)
+    | Some j -> (
+      match validate_jobs j with
+      | Ok j -> j
+      | Error m -> invalid_arg ("Pool.create: " ^ m))
     | None -> max 1 (Domain.recommended_domain_count ())
   in
   let t =

@@ -49,8 +49,15 @@ type t
 (** Result handle of an {!async} task. *)
 type 'a future
 
+(** [validate_jobs j] is the one place a worker count is judged: [Ok j]
+    when [j >= 1], otherwise [Error "jobs must be >= 1, got <j>"].
+    {!create} enforces it; CLI front ends reuse it so every subcommand
+    rejects a bad [--jobs] with the same message. *)
+val validate_jobs : int -> (int, string) result
+
 (** [create ?jobs ()] spawns [jobs] worker domains (default
-    [Domain.recommended_domain_count ()], min 1). *)
+    [Domain.recommended_domain_count ()], min 1); raises
+    [Invalid_argument] when [jobs] fails {!validate_jobs}. *)
 val create : ?jobs:int -> unit -> t
 
 val jobs : t -> int

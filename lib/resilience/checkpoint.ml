@@ -52,45 +52,13 @@ let make ?(meta = []) ~fingerprint state =
 
 (* ---------- writing ---------- *)
 
-let add_float b f =
-  if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.17g" f)
-  else invalid_arg "Checkpoint: non-finite float outside a null slot"
-
-let add_json_string b s =
-  Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.add_char b '"'
-
-let add_list b add xs =
-  Buffer.add_char b '[';
-  List.iteri
-    (fun i x ->
-      if i > 0 then Buffer.add_char b ',';
-      add b x)
-    xs;
-  Buffer.add_char b ']'
-
-let add_array b add xs =
-  Buffer.add_char b '[';
-  Array.iteri
-    (fun i x ->
-      if i > 0 then Buffer.add_char b ',';
-      add b x)
-    xs;
-  Buffer.add_char b ']'
-
-let add_int b i = Buffer.add_string b (string_of_int i)
+(* The strict writer/reader primitives live in [Json] (shared with the
+   service protocol); the aliases keep this file's vocabulary. *)
+let add_float = Json.add_float
+let add_json_string = Json.add_string
+let add_list = Json.add_list
+let add_array = Json.add_array
+let add_int = Json.add_int
 
 let add_basis b (basis : Milp.Simplex_core.Basis.t) =
   let open Milp.Simplex_core.Basis in
@@ -212,50 +180,20 @@ let to_string t =
 
 (* ---------- reading ---------- *)
 
-exception Invalid of string
+open Json
 
-let invalid fmt = Fmt.kstr (fun m -> raise (Invalid m)) fmt
-
-open Obs.Check
-
-let as_int what = function
-  | N f when Float.is_integer f && Float.abs f <= 9.007199254740992e15 ->
-    int_of_float f
-  | _ -> invalid "%s: expected an integer" what
+let invalid = Json.invalid
+let as_int = Json.as_int
 
 (* Exact 63-bit integers (basis fingerprints) travel as strings: a JSON
    number would be parsed into a float and lose low bits past 2^53. *)
-let as_int_string what = function
-  | S s -> (
-    match int_of_string_opt s with
-    | Some i -> i
-    | None -> invalid "%s: expected an integer string" what)
-  | _ -> invalid "%s: expected an integer string" what
-
-let as_float what = function
-  | N f -> f
-  | _ -> invalid "%s: expected a finite number" what
-
-let as_string what = function
-  | S s -> s
-  | _ -> invalid "%s: expected a string" what
-
-let as_bool what = function
-  | B b -> b
-  | _ -> invalid "%s: expected a boolean" what
-
-let as_list what = function
-  | A xs -> xs
-  | _ -> invalid "%s: expected an array" what
-
-let as_obj what = function
-  | O ms -> ms
-  | _ -> invalid "%s: expected an object" what
-
-let field what ms k =
-  match List.assoc_opt k ms with
-  | Some v -> v
-  | None -> invalid "%s: missing field %S" what k
+let as_int_string = Json.as_int_string
+let as_float = Json.as_float
+let as_string = Json.as_string
+let as_bool = Json.as_bool
+let as_list = Json.as_list
+let as_obj = Json.as_obj
+let field = Json.field
 
 let best_of_json what = function
   | Null -> None
@@ -388,7 +326,7 @@ let dfs_of_json j =
   }
 
 let of_string s =
-  match parse_json s with
+  match parse s with
   | Error m -> Error ("checkpoint: " ^ m)
   | Ok j -> (
     try

@@ -1,0 +1,119 @@
+(* Mutex-guarded LRU keyed by model fingerprint, with a family index
+   for warm seeding. Recency is a strictly increasing tick stamped on
+   every find/add, so eviction (minimum tick) is deterministic for a
+   fixed operation order; capacities are small (tens), so the O(n)
+   eviction scan is irrelevant next to the solves it saves. *)
+
+type 'v entry = {
+  family : string;
+  payload : 'v;
+  mutable last_used : int;
+}
+
+type 'v t = {
+  capacity : int;
+  table : (string, 'v entry) Hashtbl.t;
+  m : Mutex.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable warm_seeds : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  warm_seeds : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    m = Mutex.create ();
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    warm_seeds = 0;
+    evictions = 0;
+  }
+
+let next_tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let find t fingerprint =
+  Mutex.protect t.m @@ fun () ->
+  match Hashtbl.find_opt t.table fingerprint with
+  | Some e ->
+    e.last_used <- next_tick t;
+    t.hits <- t.hits + 1;
+    Obs.point ~cat:"cache" "hit" [ ("fingerprint", Obs.Str fingerprint) ];
+    Some e.payload
+  | None ->
+    t.misses <- t.misses + 1;
+    Obs.point ~cat:"cache" "miss" [ ("fingerprint", Obs.Str fingerprint) ];
+    None
+
+let find_family t ~family =
+  Mutex.protect t.m @@ fun () ->
+  let best =
+    Hashtbl.fold
+      (fun fp e acc ->
+        if e.family <> family then acc
+        else
+          match acc with
+          | Some (_, e') when e'.last_used >= e.last_used -> acc
+          | _ -> Some (fp, e))
+      t.table None
+  in
+  match best with
+  | None -> None
+  | Some (fp, e) ->
+    t.warm_seeds <- t.warm_seeds + 1;
+    Obs.point ~cat:"cache" "warm_seed"
+      [ ("family", Obs.Str family); ("fingerprint", Obs.Str fp) ];
+    Some (fp, e.payload)
+
+let evict_lru t =
+  (* minimum tick; ticks are unique, so the victim is unambiguous *)
+  let victim =
+    Hashtbl.fold
+      (fun fp e acc ->
+        match acc with
+        | Some (_, t') when t' <= e.last_used -> acc
+        | _ -> Some (fp, e.last_used))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (fp, _) ->
+    Hashtbl.remove t.table fp;
+    t.evictions <- t.evictions + 1;
+    Obs.point ~cat:"cache" "evict" [ ("fingerprint", Obs.Str fp) ]
+
+let add t ~fingerprint ~family payload =
+  Mutex.protect t.m @@ fun () ->
+  (match Hashtbl.find_opt t.table fingerprint with
+  | Some _ -> Hashtbl.remove t.table fingerprint
+  | None -> if Hashtbl.length t.table >= t.capacity then evict_lru t);
+  Hashtbl.replace t.table fingerprint
+    { family; payload; last_used = next_tick t }
+
+let size t = Mutex.protect t.m @@ fun () -> Hashtbl.length t.table
+
+let stats t =
+  Mutex.protect t.m @@ fun () ->
+  {
+    hits = t.hits;
+    misses = t.misses;
+    warm_seeds = t.warm_seeds;
+    evictions = t.evictions;
+    size = Hashtbl.length t.table;
+    capacity = t.capacity;
+  }

@@ -1,0 +1,188 @@
+(* select-driven serving loop. One [stream] per input source (the
+   primary stdin/stdout pair plus each accepted socket client);
+   requests accumulate in [pending] until the input runs momentarily
+   dry (or [max_batch] is hit), then the whole batch goes through
+   [Engine.process] and each response line is written back to the
+   stream its request arrived on. *)
+
+let src = Logs.Src.create "service.daemon" ~doc:"solver service daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type stream = {
+  fd : Unix.file_descr;  (* read side *)
+  out : Unix.file_descr; (* write side; same as [fd] for socket clients *)
+  buf : Buffer.t;        (* bytes of a not-yet-complete line *)
+  primary : bool;
+  mutable alive : bool;  (* false once the peer vanished mid-write *)
+}
+
+let write_all st line =
+  if st.alive then
+    try
+      let b = Bytes.unsafe_of_string line in
+      let n = Bytes.length b in
+      let off = ref 0 in
+      while !off < n do
+        off := !off + Unix.write st.out b !off (n - !off)
+      done
+    with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+      (* the client hung up; its remaining responses have nowhere to go *)
+      st.alive <- false
+
+(* Feed [chunk] into the stream's line buffer and invoke [k] on every
+   completed line (CR/LF stripped). *)
+let push_lines st chunk k =
+  Buffer.add_string st.buf chunk;
+  let s = Buffer.contents st.buf in
+  Buffer.clear st.buf;
+  let n = String.length s in
+  let start = ref 0 in
+  (try
+     while true do
+       let i = String.index_from s !start '\n' in
+       let stop = if i > !start && s.[i - 1] = '\r' then i - 1 else i in
+       k (String.sub s !start (stop - !start));
+       start := i + 1
+     done
+   with Not_found -> ());
+  if !start < n then Buffer.add_substring st.buf s !start (n - !start)
+
+let blank line = String.for_all (fun c -> c = ' ' || c = '\t') line
+
+let run ?socket ?(max_batch = 64) ?(input = Unix.stdin)
+    ?(output = Unix.stdout) engine =
+  if max_batch < 1 then invalid_arg "Daemon.run: max_batch must be >= 1";
+  (* a dying client must not kill the daemon via SIGPIPE; write_all
+     handles the resulting EPIPE per-stream *)
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let stop = Atomic.make false in
+  let old_term =
+    Sys.signal Sys.sigterm
+      (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+  in
+  let restore () =
+    Sys.set_signal Sys.sigpipe old_pipe;
+    Sys.set_signal Sys.sigterm old_term
+  in
+  let listener =
+    match socket with
+    | None -> Ok None
+    | Some path -> (
+      match
+        (try if Sys.file_exists path then Unix.unlink path with _ -> ());
+        let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+        (try
+           Unix.bind fd (ADDR_UNIX path);
+           Unix.listen fd 16;
+           Ok fd
+         with e ->
+           (try Unix.close fd with _ -> ());
+           Error e)
+      with
+      | Ok fd -> Ok (Some (fd, path))
+      | Error e | (exception e) ->
+        Error
+          (Fmt.str "cannot listen on socket %s: %s" path
+             (Printexc.to_string e)))
+  in
+  match listener with
+  | Error msg ->
+    restore ();
+    Error msg
+  | Ok listener ->
+    let primary =
+      { fd = input; out = output; buf = Buffer.create 256; primary = true;
+        alive = true }
+    in
+    let primary_eof = ref false in
+    let clients = ref [] in
+    let pending = Queue.create () in
+    let chunk = Bytes.create 65536 in
+    let enqueue st line =
+      if not (blank line) then
+        Queue.add (st, Protocol.parse_request line) pending
+    in
+    let flush_batch () =
+      if not (Queue.is_empty pending) then begin
+        let batch = List.of_seq (Queue.to_seq pending) in
+        Queue.clear pending;
+        let lines = Engine.process engine (List.map snd batch) in
+        List.iter2 (fun (st, _) line -> write_all st line) batch lines
+      end
+    in
+    let close_client st =
+      (try Unix.close st.fd with _ -> ());
+      clients := List.filter (fun c -> c != st) !clients
+    in
+    let read_stream st =
+      match Unix.read st.fd chunk 0 (Bytes.length chunk) with
+      | 0 | (exception Unix.Unix_error (ECONNRESET, _, _)) ->
+        (* EOF: a trailing unterminated line still counts as a request *)
+        let tail = Buffer.contents st.buf in
+        Buffer.clear st.buf;
+        if tail <> "" then enqueue st tail;
+        if st.primary then primary_eof := true else close_client st
+      | n -> push_lines st (Bytes.sub_string chunk 0 n) (enqueue st)
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+    in
+    let accept_client fd =
+      match Unix.accept ~cloexec:true fd with
+      | cfd, _ ->
+        Log.debug (fun f -> f "client connected");
+        clients :=
+          { fd = cfd; out = cfd; buf = Buffer.create 256; primary = false;
+            alive = true }
+          :: !clients
+      | exception Unix.Unix_error (_, _, _) -> ()
+    in
+    let read_fds () =
+      (if !primary_eof then [] else [ primary.fd ])
+      @ (match listener with Some (fd, _) -> [ fd ] | None -> [])
+      @ List.map (fun c -> c.fd) !clients
+    in
+    let select fds timeout =
+      match Unix.select fds [] [] timeout with
+      | ready, _, _ -> ready
+      | exception Unix.Unix_error (EINTR, _, _) -> []
+    in
+    let finish () =
+      flush_batch ();
+      (match listener with
+      | Some (fd, path) ->
+        (try Unix.close fd with _ -> ());
+        (try Unix.unlink path with _ -> ())
+      | None -> ());
+      List.iter (fun c -> try Unix.close c.fd with _ -> ()) !clients;
+      restore ();
+      Log.info (fun f -> f "drained shutdown");
+      Ok 0
+    in
+    let rec loop () =
+      if Atomic.get stop || !primary_eof then finish ()
+      else begin
+        let fds = read_fds () in
+        (* block only when there is nothing batched; otherwise poll, so
+           an input that ran dry closes the batch *)
+        let timeout = if Queue.is_empty pending then -1.0 else 0.0 in
+        match select fds timeout with
+        | [] ->
+          flush_batch ();
+          loop ()
+        | ready ->
+          List.iter
+            (fun fd ->
+              match listener with
+              | Some (lfd, _) when fd == lfd -> accept_client lfd
+              | _ -> (
+                if fd == primary.fd then read_stream primary
+                else
+                  match List.find_opt (fun c -> c.fd == fd) !clients with
+                  | Some c -> read_stream c
+                  | None -> ()))
+            ready;
+          if Queue.length pending >= max_batch then flush_batch ();
+          loop ()
+      end
+    in
+    loop ()

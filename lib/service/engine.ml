@@ -1,0 +1,364 @@
+(* Batch execution: QoS planning, fair-deadline dispatch over the
+   supervised pool, and the fingerprint-keyed warm cache. *)
+
+open Let_sem
+
+let src = Logs.Src.create "service.engine" ~doc:"solver service engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Cached payload of one solved model: the solution's response fields
+   (replayed byte-for-byte on a hit) and the optimal root basis (the
+   warm seed for perturbed siblings). *)
+type payload = {
+  core : (string * Protocol.value) list;
+  basis : Milp.Simplex_core.Basis.t option;
+}
+
+type t = {
+  pool : Parallel.Pool.t;
+  cache : payload Cache.t;
+  retry_on_crash : int;
+  started_at : float;
+  m : Mutex.t;
+  mutable requests : int;
+  mutable solved : int;
+  mutable errors : int;
+  mutable shed : int;
+  mutable batches : int;
+  mutable max_batch : int;
+  crash_counts : (string, int) Hashtbl.t;
+}
+
+let create ?jobs ?(cache_capacity = 64) ?(retry_on_crash = 1) () =
+  {
+    pool = Parallel.Pool.create ?jobs ();
+    cache = Cache.create ~capacity:cache_capacity;
+    retry_on_crash;
+    started_at = Milp.Clock.now ();
+    m = Mutex.create ();
+    requests = 0;
+    solved = 0;
+    errors = 0;
+    shed = 0;
+    batches = 0;
+    max_batch = 0;
+    crash_counts = Hashtbl.create 16;
+  }
+
+let cache_stats t = Cache.stats t.cache
+
+let pool_jobs t = Parallel.Pool.jobs t.pool
+
+let shutdown t = Parallel.Pool.shutdown t.pool
+
+let count t f = Mutex.protect t.m (fun () -> f t)
+
+let status_name = function
+  | Milp.Branch_bound.Optimal -> "optimal"
+  | Milp.Branch_bound.Feasible -> "feasible"
+  | Milp.Branch_bound.Infeasible -> "infeasible"
+  | Milp.Branch_bound.Unbounded -> "unbounded"
+  | Milp.Branch_bound.Unknown -> "unknown"
+
+(* The cache family deliberately omits [alpha] (and the QoS fields):
+   two requests differing only in alpha denote perturbed variants of
+   one model family, and that is exactly the pair the warm-seed path
+   wants to connect. *)
+let family_key (s : Protocol.solve) =
+  Printf.sprintf "%s|%d|%d|%s"
+    (Protocol.workload_name s.Protocol.workload)
+    s.Protocol.seed s.Protocol.labels_per_edge
+    (Letdma.Formulation.objective_name s.Protocol.objective)
+
+let make_workload (s : Protocol.solve) =
+  match s.Protocol.workload with
+  | Protocol.Waters ->
+    Workload.Waters2019.make ~labels_per_edge:s.Protocol.labels_per_edge ()
+  | Protocol.Random -> Workload.Generator.random ~seed:s.Protocol.seed ()
+  | Protocol.Small ->
+    Workload.Generator.random ~seed:s.Protocol.seed
+      ~config:Workload.Generator.small_config ()
+
+let error_response t ~id fmt =
+  Fmt.kstr
+    (fun m ->
+      count t (fun t -> t.errors <- t.errors + 1);
+      Protocol.error_line ~id m)
+    fmt
+
+(* ok-response layout: the varying per-request fields (cache verdict,
+   work done, wall time) come first; the cached, byte-stable solution
+   fields ([core], starting with "tier") come last, so a replayed hit
+   is literally the same suffix. *)
+let ok_response ~id ~klass ~cache ~pivots ~nodes ~t0 core =
+  Protocol.render ~id ~status:"ok"
+    ([
+       ("cache", Protocol.S cache);
+       ("class", Protocol.S (Qos.klass_name klass));
+       ("pivots", Protocol.I pivots);
+       ("nodes", Protocol.I nodes);
+       ("time_s", Protocol.F (Milp.Clock.now () -. t0));
+     ]
+    @ core)
+
+(* --- the MILP tier (cache-aware) ------------------------------------- *)
+
+let solve_milp t ~id ~deadline ~t0 (s : Protocol.solve) app groups gamma =
+  let inst =
+    Letdma.Formulation.make ~options:Letdma.Formulation.default_options
+      s.Protocol.objective app groups ~gamma
+  in
+  let fp = Resilience.Checkpoint.fingerprint inst.Letdma.Formulation.problem in
+  let family = family_key s in
+  match Cache.find t.cache fp with
+  | Some payload ->
+    (* exact repeat: replay the stored solution fields byte-for-byte *)
+    count t (fun t -> t.solved <- t.solved + 1);
+    ok_response ~id ~klass:s.Protocol.klass ~cache:"hit" ~pivots:0 ~nodes:0
+      ~t0 payload.core
+  | None ->
+    let root_basis =
+      match Cache.find_family t.cache ~family with
+      | Some (_, sibling) -> sibling.basis
+      | None -> None
+    in
+    let basis_out = ref None in
+    let r =
+      Letdma.Solve.solve ~deadline_s:deadline ~jobs:1 ?root_basis ~basis_out
+        s.Protocol.objective app groups ~gamma
+    in
+    let st = r.Letdma.Solve.stats in
+    (match (r.Letdma.Solve.solution, r.Letdma.Solve.x) with
+    | Some sol, Some x ->
+      let _, e =
+        Milp.Problem.objective
+          r.Letdma.Solve.instance.Letdma.Formulation.problem
+      in
+      let obj = Milp.Linexpr.eval e x in
+      let certified =
+        match r.Letdma.Solve.certificate with Some (Ok _) -> true | _ -> false
+      in
+      let core =
+        [
+          ("tier", Protocol.S "milp");
+          ("solver", Protocol.S (status_name st.Letdma.Solve.status));
+          ("objective", Protocol.F obj);
+          ("transfers", Protocol.I (Letdma.Solution.num_transfers sol));
+          ("certified", Protocol.B certified);
+        ]
+      in
+      Cache.add t.cache ~fingerprint:fp ~family
+        { core; basis = !basis_out };
+      count t (fun t -> t.solved <- t.solved + 1);
+      ok_response ~id ~klass:s.Protocol.klass
+        ~cache:(if root_basis <> None then "warm" else "miss")
+        ~pivots:st.Letdma.Solve.lp.Milp.Branch_bound.lp_pivots
+        ~nodes:st.Letdma.Solve.nodes ~t0 core
+    | _ ->
+      error_response t ~id "no solution (%s)"
+        (status_name st.Letdma.Solve.status))
+
+(* --- shed tiers ------------------------------------------------------ *)
+
+let solve_direct t ~id ~klass ~tier ~source ~t0 sol_opt app groups gamma =
+  match sol_opt with
+  | None -> error_response t ~id "%s produced no plan" tier
+  | Some sol ->
+    let certified =
+      match Letdma.Certify.certify ~source app groups ~gamma sol with
+      | Ok _ -> true
+      | Error _ -> false
+    in
+    let core =
+      [
+        ("tier", Protocol.S tier);
+        ("solver", Protocol.S "-");
+        ("transfers", Protocol.I (Letdma.Solution.num_transfers sol));
+        ("certified", Protocol.B certified);
+      ]
+    in
+    count t (fun t -> t.solved <- t.solved + 1);
+    ok_response ~id ~klass ~cache:"none" ~pivots:0 ~nodes:0 ~t0 core
+
+let baseline_solution app groups =
+  Letdma.Solution.make
+    ~allocation:(Mem_layout.Allocation.identity app)
+    ~slots:(Array.of_list (Giotto.singleton_transfers app (Groups.s0 groups)))
+
+(* --- one solve request ----------------------------------------------- *)
+
+let handle_solve t ~arrival ~load ~deadline ~id (s : Protocol.solve) =
+  let t0 = Milp.Clock.now () in
+  (* the request runs under the tighter of its fair batch share and its
+     own absolute deadline *)
+  let own = arrival +. s.Protocol.deadline_s in
+  let d = Float.min deadline own in
+  let budget = d -. t0 in
+  if budget <= 0.0 then
+    error_response t ~id
+      "deadline expired before solving started (class %s)"
+      (Qos.klass_name s.Protocol.klass)
+  else begin
+    let tier = Qos.plan s.Protocol.klass ~load ~budget_s:budget in
+    if tier <> Qos.Milp then begin
+      count t (fun t -> t.shed <- t.shed + 1);
+      Obs.point ~cat:"service" "shed"
+        [
+          ("class", Obs.Str (Qos.klass_name s.Protocol.klass));
+          ("tier", Obs.Str (Qos.tier_name tier));
+          ("load", Obs.Float load);
+        ]
+    end;
+    let app = make_workload s in
+    let groups = Groups.compute app in
+    if Comm.Set.is_empty (Groups.s0 groups) then
+      error_response t ~id "no inter-core communications"
+    else
+      match Rt_analysis.Sensitivity.gammas app ~alpha:s.Protocol.alpha with
+      | None -> error_response t ~id "task set unschedulable at zero jitter"
+      | Some g when not g.Rt_analysis.Sensitivity.schedulable ->
+        error_response t ~id "task set unschedulable with alpha=%.2f"
+          s.Protocol.alpha
+      | Some g -> (
+        let gamma = g.Rt_analysis.Sensitivity.gamma in
+        match tier with
+        | Qos.Milp -> solve_milp t ~id ~deadline:d ~t0 s app groups gamma
+        | Qos.Heuristic ->
+          solve_direct t ~id ~klass:s.Protocol.klass ~tier:"heuristic"
+            ~source:Letdma.Certify.Heuristic ~t0
+            (Letdma.Heuristic.solve_unchecked app groups ~gamma)
+            app groups gamma
+        | Qos.Baseline ->
+          solve_direct t ~id ~klass:s.Protocol.klass ~tier:"baseline"
+            ~source:Letdma.Certify.Baseline ~t0
+            (Some (baseline_solution app groups))
+            app groups gamma)
+  end
+
+(* --- chaos op -------------------------------------------------------- *)
+
+(* Crash the worker domain [times] times, then answer: with the default
+   retry budget of 1, [times:1] exercises transparent recovery (the
+   request survives its own worker's death) and [times:2] exercises the
+   budget-exhausted path (a structured Worker_crashed error). *)
+let handle_crash t ~id times =
+  let seen =
+    Mutex.protect t.m (fun () ->
+        let c =
+          Option.value ~default:0 (Hashtbl.find_opt t.crash_counts id)
+        in
+        Hashtbl.replace t.crash_counts id (c + 1);
+        c)
+  in
+  if seen < times then
+    raise (Parallel.Pool.Poison (Printf.sprintf "injected crash %s" id));
+  count t (fun t -> t.solved <- t.solved + 1);
+  Protocol.render ~id ~status:"ok"
+    [
+      ("op", Protocol.S "crash");
+      ("recovered", Protocol.B true);
+      ("crashes", Protocol.I seen);
+    ]
+
+(* --- stats op -------------------------------------------------------- *)
+
+let handle_stats t ~id =
+  let cs = Cache.stats t.cache in
+  let requests, solved, errors, shed, batches, max_batch =
+    Mutex.protect t.m (fun () ->
+        (t.requests, t.solved, t.errors, t.shed, t.batches, t.max_batch))
+  in
+  Protocol.render ~id ~status:"ok"
+    [
+      ("op", Protocol.S "stats");
+      ("uptime_s", Protocol.F (Milp.Clock.now () -. t.started_at));
+      ("pool_jobs", Protocol.I (Parallel.Pool.jobs t.pool));
+      ("pool_crashes", Protocol.I (Parallel.Pool.crashes t.pool));
+      ("requests", Protocol.I requests);
+      ("solved", Protocol.I solved);
+      ("errors", Protocol.I errors);
+      ("shed", Protocol.I shed);
+      ("batches", Protocol.I batches);
+      ("max_batch", Protocol.I max_batch);
+      ("cache_size", Protocol.I cs.Cache.size);
+      ("cache_capacity", Protocol.I cs.Cache.capacity);
+      ("cache_hits", Protocol.I cs.Cache.hits);
+      ("cache_misses", Protocol.I cs.Cache.misses);
+      ("cache_warm_seeds", Protocol.I cs.Cache.warm_seeds);
+      ("cache_evictions", Protocol.I cs.Cache.evictions);
+      ("obs_enabled", Protocol.B (Obs.enabled ()));
+      ("obs_events", Protocol.I (Obs.lines_written ()));
+    ]
+
+(* --- batch dispatch -------------------------------------------------- *)
+
+let handle t ~arrival ~load ~deadline item =
+  match item with
+  | Error { Protocol.err_id; message } ->
+    error_response t ~id:err_id "invalid request: %s" message
+  | Ok { Protocol.id; op = Protocol.Stats } -> handle_stats t ~id
+  | Ok { Protocol.id; op = Protocol.Crash { times } } ->
+    handle_crash t ~id times
+  | Ok { Protocol.id; op = Protocol.Solve s } ->
+    handle_solve t ~arrival ~load ~deadline ~id s
+
+let id_of = function
+  | Ok r -> r.Protocol.id
+  | Error e -> e.Protocol.err_id
+
+let process t items =
+  let arrival = Milp.Clock.now () in
+  let n = List.length items in
+  if n = 0 then []
+  else begin
+    let solves =
+      List.length
+        (List.filter
+           (function Ok { Protocol.op = Protocol.Solve _; _ } -> true
+                   | _ -> false)
+           items)
+    in
+    let load =
+      float_of_int solves /. float_of_int (Parallel.Pool.jobs t.pool)
+    in
+    count t (fun t ->
+        t.requests <- t.requests + n;
+        t.batches <- t.batches + 1;
+        t.max_batch <- max t.max_batch n);
+    Obs.point ~cat:"service" "batch"
+      [ ("size", Obs.Int n); ("solves", Obs.Int solves);
+        ("load", Obs.Float load) ];
+    Log.debug (fun f -> f "batch: %d requests (%d solves, load %.2f)" n
+                  solves load);
+    (* one shared absolute deadline for the whole batch: the latest
+       per-request deadline; Sweep carves it into fair per-item shares *)
+    let global =
+      List.fold_left
+        (fun acc item ->
+          match item with
+          | Ok { Protocol.op = Protocol.Solve s; _ } ->
+            let d = arrival +. s.Protocol.deadline_s in
+            Some (match acc with None -> d | Some a -> Float.max a d)
+          | _ -> acc)
+        None items
+    in
+    let outcomes =
+      Parallel.Sweep.map ~pool:t.pool ?deadline:global
+        ~retry_on_crash:t.retry_on_crash
+        (fun ~deadline item -> handle t ~arrival ~load ~deadline item)
+        items
+    in
+    List.map
+      (fun (o : _ Parallel.Sweep.outcome) ->
+        match o.Parallel.Sweep.result with
+        | Ok line -> line
+        | Error (Parallel.Pool.Worker_crashed { worker; cause }) ->
+          error_response t ~id:(id_of o.Parallel.Sweep.item)
+            "worker %d crashed (%s); crash-retry budget exhausted" worker
+            cause
+        | Error e ->
+          error_response t ~id:(id_of o.Parallel.Sweep.item)
+            "internal error: %s" (Printexc.to_string e))
+      outcomes
+  end

@@ -1,0 +1,56 @@
+(** Batch execution core of the solver service.
+
+    One {!process} call takes a parsed request batch (order preserved)
+    and returns one rendered response line per request:
+
+    - {b batching}: the batch's solve requests run on a supervised
+      {!Parallel.Pool} through {!Parallel.Sweep.map}, which carves one
+      shared absolute deadline (the latest per-request deadline in the
+      batch) into fair per-item deadlines — a queued request can never
+      be starved by the requests ahead of it, and each item is further
+      capped by its own [deadline_s];
+    - {b caching}: each MILP request is fingerprinted
+      ({!Resilience.Checkpoint.fingerprint} of the built model) and
+      looked up in a bounded LRU ({!Cache}). An exact hit replays the
+      stored solution fields byte-for-byte (["cache":"hit"], zero
+      pivots); a miss whose family (workload/seed/objective, ignoring
+      the perturbable [alpha]) has a cached sibling warm-starts from
+      that sibling's optimal basis (["cache":"warm"], PR-5 path);
+      everything else solves cold (["cache":"miss"]);
+    - {b QoS}: the request's class and the batch's load factor pick the
+      solving tier through {!Qos.plan}; shed requests are answered by
+      the heuristic or baseline rung instead of queueing;
+    - {b supervision}: a request that kills its worker domain (the
+      [crash] chaos op, or a real bug) is retried [retry_on_crash]
+      times by the pool's supervisor; past the budget its response is a
+      structured error — the engine and its other in-flight requests
+      are unaffected.
+
+    A [stats] request is answered from the same queue (so with a
+    sequential pool it observes every earlier request of its batch)
+    with a snapshot of engine counters, cache and pool state.
+
+    Thread-safety: counters and the cache are mutex-guarded; one
+    engine serves one daemon loop but its work runs on pool domains. *)
+
+type t
+
+val create :
+  ?jobs:int -> ?cache_capacity:int -> ?retry_on_crash:int -> unit -> t
+(** [jobs] sizes the worker pool (default
+    [Domain.recommended_domain_count ()]); [cache_capacity] bounds the
+    LRU (default 64); [retry_on_crash] (default 1) is each request's
+    crash-retry budget. *)
+
+val process :
+  t -> (Protocol.request, Protocol.error) Stdlib.result list -> string list
+(** Execute one batch; returns rendered response lines, one per
+    request, in request order. Never raises on request content —
+    malformed entries yield error lines. *)
+
+val cache_stats : t -> Cache.stats
+
+val pool_jobs : t -> int
+
+val shutdown : t -> unit
+(** Join the worker pool. The engine must not be used afterwards. *)
